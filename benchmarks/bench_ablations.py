@@ -1,0 +1,121 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own ablations (Tables 4 and 6), these cover:
+
+* the transitive-closure ready-list bound vs. the trivial bound ``n``
+  (how much per-ant state the Section V-A sizing trick saves);
+* the post-scheduling filter economics (how many regions it reverts, and
+  what the suite-level quality would be without it);
+* scheduler micro-benchmarks: raw single-region scheduling throughput for
+  the greedy baseline, the sequential ACO and the vectorized colony.
+"""
+
+import random
+
+from repro.config import ACOParams, FilterParams, GPUParams
+from repro.ddg import DDG, TransitiveClosure
+from repro.experiments.report import ExperimentTable
+from repro.heuristics import AMDMaxOccupancyScheduler
+from repro.aco import SequentialACOScheduler
+from repro.parallel import ParallelACOScheduler, RegionDeviceData
+from repro.suite.patterns import pattern_region
+
+
+def bench_ready_list_bound(benchmark, warm_context):
+    """The tight bound's saving on per-ant state, across the suite."""
+    context = warm_context
+
+    def compute():
+        table = ExperimentTable(
+            "Ablation: ready-list bound (tight closure bound vs trivial n)",
+            ("Stat", "Value"),
+        )
+        ants = context.scale.gpu.total_threads
+        tight_bytes = loose_bytes = 0
+        ratios = []
+        for _kernel, region in context.suite.all_regions():
+            ddg = DDG(region)
+            tight = RegionDeviceData(ddg, context.machine, tight_ready_bound=True)
+            loose = RegionDeviceData(ddg, context.machine, tight_ready_bound=False)
+            tight_bytes += tight.per_ant_state_bytes(ants)
+            loose_bytes += loose.per_ant_state_bytes(ants)
+            ratios.append(tight.ready_capacity / max(1, loose.ready_capacity))
+        table.add_row("regions", len(ratios))
+        table.add_row("mean capacity ratio (tight/trivial)", sum(ratios) / len(ratios))
+        table.add_row("per-ant state, tight bound (MB)", tight_bytes / 1e6)
+        table.add_row("per-ant state, trivial bound (MB)", loose_bytes / 1e6)
+        table.add_row("saving", "%.1f%%" % (100 * (1 - tight_bytes / loose_bytes)))
+        return table
+
+    print()
+    print(benchmark.pedantic(compute, rounds=1, iterations=1).render())
+
+
+def bench_post_filter(benchmark, warm_context):
+    """What the post-scheduling filter reverts and what it protects."""
+    context = warm_context
+
+    def compute():
+        run = context.run("parallel")
+        table = ExperimentTable(
+            "Ablation: post-scheduling filter (+3 occupancy vs +63 cycles)",
+            ("Stat", "With filter", "Without filter"),
+        )
+        kept = reverted = 0
+        len_with = len_without = len_heur = 0
+        for _kernel, outcome in run.all_regions():
+            len_heur += outcome.heuristic.length
+            len_with += outcome.final.length
+            if outcome.aco is not None:
+                len_without += outcome.aco.length
+                if outcome.decision.value == "reverted-to-heuristic":
+                    reverted += 1
+                else:
+                    kept += 1
+            else:
+                len_without += outcome.heuristic.length
+        table.add_row("ACO schedules kept / reverted", kept, reverted)
+        table.add_row(
+            "total length vs heuristic",
+            "%+.2f%%" % (100.0 * (len_with - len_heur) / len_heur),
+            "%+.2f%%" % (100.0 * (len_without - len_heur) / len_heur),
+        )
+        return table
+
+    print()
+    print(benchmark.pedantic(compute, rounds=1, iterations=1).render())
+
+
+def bench_greedy_scheduler(benchmark):
+    """Raw throughput: AMD greedy list scheduling of a 100-inst region."""
+    from repro.machine import amd_vega20
+
+    machine = amd_vega20()
+    ddg = DDG(pattern_region("transform", random.Random(5), 100))
+    amd = AMDMaxOccupancyScheduler(machine)
+    schedule = benchmark(amd.schedule, ddg)
+    assert schedule.length >= 100
+
+
+def bench_sequential_aco(benchmark):
+    """Raw throughput: sequential two-pass ACO on a 60-inst region."""
+    from repro.machine import amd_vega20
+
+    machine = amd_vega20()
+    ddg = DDG(pattern_region("reduce", random.Random(5), 60))
+    scheduler = SequentialACOScheduler(machine)
+    result = benchmark(scheduler.schedule, ddg, 1)
+    assert result.schedule.length >= 60
+
+
+def bench_parallel_colony(benchmark):
+    """Raw throughput: one vectorized colony invocation (128 ants)."""
+    from repro.machine import amd_vega20
+
+    machine = amd_vega20()
+    ddg = DDG(pattern_region("reduce", random.Random(5), 60))
+    scheduler = ParallelACOScheduler(machine, gpu_params=GPUParams(blocks=2))
+    result = benchmark.pedantic(
+        scheduler.schedule, args=(ddg,), kwargs={"seed": 1}, rounds=3, iterations=1
+    )
+    assert result.schedule.length >= 60

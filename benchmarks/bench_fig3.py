@@ -1,0 +1,17 @@
+"""Regenerates Figure 3 — pass-2 speedup distribution.
+
+Prints the table in the paper's row layout (with the published values in
+the Paper column) and reports the harness time through pytest-benchmark.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+from conftest import render_result
+
+
+def bench_fig3(benchmark, warm_context):
+    result = benchmark.pedantic(
+        EXPERIMENTS["fig3"], args=(warm_context,), rounds=1, iterations=1
+    )
+    print()
+    print(render_result(result))

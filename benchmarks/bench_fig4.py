@@ -1,0 +1,17 @@
+"""Regenerates Figure 4 — execution-time speedups.
+
+Prints the table in the paper's row layout (with the published values in
+the Paper column) and reports the harness time through pytest-benchmark.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+from conftest import render_result
+
+
+def bench_fig4(benchmark, warm_context):
+    result = benchmark.pedantic(
+        EXPERIMENTS["fig4"], args=(warm_context,), rounds=1, iterations=1
+    )
+    print()
+    print(render_result(result))

@@ -1,0 +1,17 @@
+"""Regenerates Tables 3.a/3.b — parallel speedup over sequential ACO by size class.
+
+Prints the table(s) in the paper's row layout (with the published values in
+the Paper column) and reports the harness time through pytest-benchmark.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+from conftest import render_result
+
+
+def bench_table3(benchmark, warm_context):
+    result = benchmark.pedantic(
+        EXPERIMENTS["table3"], args=(warm_context,), rounds=1, iterations=1
+    )
+    print()
+    print(render_result(result))

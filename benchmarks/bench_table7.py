@@ -1,0 +1,17 @@
+"""Regenerates Table 7 — cycle-based filter sweep.
+
+Prints the table in the paper's row layout (with the published values in
+the Paper column) and reports the harness time through pytest-benchmark.
+"""
+
+from repro.experiments import EXPERIMENTS
+
+from conftest import render_result
+
+
+def bench_table7(benchmark, warm_context):
+    result = benchmark.pedantic(
+        EXPERIMENTS["table7"], args=(warm_context,), rounds=1, iterations=1
+    )
+    print()
+    print(render_result(result))

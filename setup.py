@@ -1,0 +1,23 @@
+"""Legacy setuptools shim.
+
+This environment is offline and lacks the ``wheel`` package, so PEP 517/660
+builds cannot run; ``pip install -e .`` uses this file via the legacy
+``setup.py develop`` path instead. Metadata mirrors pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Instruction Scheduling for the GPU on the GPU' "
+        "(CGO 2024): GPU-parallel ACO register-pressure-aware instruction "
+        "scheduling on a simulated SIMT device"
+    ),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

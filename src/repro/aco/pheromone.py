@@ -1,0 +1,77 @@
+"""The pheromone table (Section IV-A).
+
+A table of shape ``(n + 1, n)``: entry ``tau[i][j]`` is the pheromone on the
+link "instruction ``j`` immediately follows instruction ``i``"; the extra
+row ``n`` is the virtual start node, read when an ant picks its first
+instruction. At the end of each iteration the whole table decays by the
+decay factor and the iteration winner's links receive a deposit inversely
+proportional to the winner's cost. Entries are clamped into
+``[min_pheromone, max_pheromone]`` (MAX-MIN style) so the strong 0.8 decay
+cannot extinguish exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import ACOParams
+from ..errors import ConfigError
+
+
+class PheromoneTable:
+    """Mutable pheromone state for one region's ACO search."""
+
+    def __init__(self, num_instructions: int, params: ACOParams):
+        if num_instructions < 1:
+            raise ConfigError("pheromone table needs at least one instruction")
+        self.num_instructions = num_instructions
+        self.params = params
+        self.tau = np.full(
+            (num_instructions + 1, num_instructions),
+            float(params.initial_pheromone),
+            dtype=np.float64,
+        )
+
+    @property
+    def start_row(self) -> int:
+        """Row index of the virtual start node."""
+        return self.num_instructions
+
+    def row(self, predecessor: int) -> np.ndarray:
+        """Pheromone row for "next instruction after ``predecessor``".
+
+        Pass :attr:`start_row` (or -1) for the first selection.
+        """
+        if predecessor == -1:
+            predecessor = self.start_row
+        return self.tau[predecessor]
+
+    def decay(self) -> None:
+        """Dissipate pheromone: ``tau *= decay``, clamped from below."""
+        np.multiply(self.tau, self.params.decay, out=self.tau)
+        np.maximum(self.tau, self.params.min_pheromone, out=self.tau)
+
+    def deposit(self, order: Sequence[int], cost: float) -> None:
+        """Reinforce the links of an iteration winner with cost ``cost``.
+
+        The deposit is ``deposit_scale / (1 + cost)`` per link — cheaper
+        winners deposit more, and a zero-cost (LB-matching) winner deposits
+        the full scale.
+        """
+        amount = self.params.deposit / (1.0 + max(0.0, float(cost)))
+        previous = self.start_row
+        for index in order:
+            value = self.tau[previous, index] + amount
+            self.tau[previous, index] = min(value, self.params.max_pheromone)
+            previous = index
+
+    def touched_entries(self) -> int:
+        """Table entries touched by one decay+deposit (for the cost models)."""
+        return self.tau.size
+
+    def copy(self) -> "PheromoneTable":
+        clone = PheromoneTable(self.num_instructions, self.params)
+        clone.tau = self.tau.copy()
+        return clone

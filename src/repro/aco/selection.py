@@ -1,0 +1,53 @@
+"""The ACS-style next-instruction selection rule (Section IV-A).
+
+Given the ready list, each candidate ``j`` has attractiveness
+``score(j) = tau[prev][j] * eta(j) ** beta``. With probability ``q0`` the
+ant *exploits* (picks the argmax); otherwise it *explores* (samples from the
+distribution proportional to the scores). The explore/exploit draw is
+separated from the pick itself so the parallel scheduler can hoist the draw
+to wavefront level (divergence optimization 1 of Section V-B).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+def roulette_index(scores: Sequence[float], rng: random.Random) -> int:
+    """Sample an index proportionally to ``scores`` (all non-negative)."""
+    total = 0.0
+    for s in scores:
+        total += s
+    if total <= 0.0:
+        return rng.randrange(len(scores))
+    pick = rng.random() * total
+    acc = 0.0
+    for index, s in enumerate(scores):
+        acc += s
+        if pick < acc:
+            return index
+    return len(scores) - 1  # floating-point tail
+
+
+def select_index(
+    scores: Sequence[float],
+    rng: random.Random,
+    exploit: bool,
+) -> int:
+    """Pick a position in the ready list given precomputed scores.
+
+    ``exploit`` is drawn by the caller (per thread in the sequential
+    scheduler, per wavefront in the parallel one).
+    """
+    if not scores:
+        raise ValueError("selection over an empty ready list")
+    if exploit:
+        best_index = 0
+        best_score = scores[0]
+        for index in range(1, len(scores)):
+            if scores[index] > best_score:
+                best_score = scores[index]
+                best_index = index
+        return best_index
+    return roulette_index(scores, rng)

@@ -1,0 +1,296 @@
+"""The sequential two-pass ACO scheduler (Section IV-A).
+
+This is the CPU reference implementation the parallel scheduler is compared
+against in Tables 3.a/3.b and Table 5. Pass 1 minimizes the APRP-based RP
+cost over instruction *orders*; pass 2 fixes the pass-1 pressure as a hard
+constraint and minimizes schedule *length* over cycle-accurate schedules
+with stalls. Each pass runs ``sequential_ants`` ants per iteration and
+terminates on the lower bound or on stagnation.
+
+Scheduling time is reported through the deterministic CPU cost model of
+:mod:`repro.timing` (see that module for why wall-clock Python timing would
+not reproduce the paper's mechanisms).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..config import ACOParams
+from ..ddg.graph import DDG
+from ..ddg.lower_bounds import RegionBounds, region_bounds
+from ..heuristics.base import GuidingHeuristic
+from ..heuristics.critical_path import CriticalPathHeuristic
+from ..heuristics.list_scheduler import schedule_in_order
+from ..heuristics.luc import LastUseCountHeuristic
+from ..ir.registers import RegisterClass
+from ..machine.model import MachineModel
+from ..rp.cost import rp_cost, rp_cost_lower_bound
+from ..rp.liveness import peak_pressure
+from ..schedule.schedule import Schedule
+from ..timing import DEFAULT_CPU_COST, CPUCostModel
+from .ant import AntResult, ConstructionStats, construct_cycles, construct_order
+from .pheromone import PheromoneTable
+from .stalls import OptionalStallHeuristic
+from .termination import TerminationTracker
+
+
+@dataclass
+class PassResult:
+    """Outcome of one ACO pass on one region."""
+
+    invoked: bool
+    iterations: int
+    initial_cost: float
+    final_cost: float
+    hit_lower_bound: bool
+    seconds: float
+    stats: ConstructionStats = field(default_factory=ConstructionStats)
+    #: Per-iteration winner costs (the convergence curve of the search).
+    trace: Tuple[float, ...] = ()
+
+    @property
+    def improved(self) -> bool:
+        return self.final_cost < self.initial_cost
+
+
+@dataclass
+class ACOResult:
+    """Final outcome of two-pass ACO scheduling on one region."""
+
+    schedule: Schedule
+    peak: Dict[RegisterClass, int]
+    rp_cost_value: int
+    pass1: PassResult
+    pass2: PassResult
+
+    @property
+    def seconds(self) -> float:
+        return self.pass1.seconds + self.pass2.seconds
+
+    @property
+    def length(self) -> int:
+        return self.schedule.length
+
+
+class SequentialACOScheduler:
+    """Two-pass ACO scheduling on the CPU."""
+
+    name = "sequential-aco"
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        params: Optional[ACOParams] = None,
+        rp_heuristic: Optional[GuidingHeuristic] = None,
+        ilp_heuristic: Optional[GuidingHeuristic] = None,
+        cost_model: CPUCostModel = DEFAULT_CPU_COST,
+    ):
+        self.machine = machine
+        self.params = params or ACOParams()
+        self.params.validate()
+        self.rp_heuristic = rp_heuristic or LastUseCountHeuristic()
+        self.ilp_heuristic = ilp_heuristic or CriticalPathHeuristic()
+        self.cost_model = cost_model
+
+    # -- pass 1 ---------------------------------------------------------------
+
+    def _run_rp_pass(
+        self,
+        ddg: DDG,
+        bounds: RegionBounds,
+        initial_order: Tuple[int, ...],
+        rng: random.Random,
+    ) -> Tuple[Tuple[int, ...], Dict[RegisterClass, int], PassResult]:
+        region = ddg.region
+        lb_cost = rp_cost_lower_bound(bounds, self.machine)
+        initial_schedule = Schedule.from_order(region, initial_order)
+        best_peak = peak_pressure(initial_schedule)
+        best_cost = rp_cost(best_peak, self.machine)
+        best_order = tuple(initial_order)
+
+        stats = ConstructionStats()
+        seconds = self.cost_model.region_overhead
+        trace = []
+        if best_cost <= lb_cost:
+            result = PassResult(False, 0, best_cost, best_cost, True, 0.0)
+            return best_order, best_peak, result
+
+        prepared = self.rp_heuristic.prepare(ddg)
+        pheromone = PheromoneTable(ddg.num_instructions, self.params)
+        tracker = TerminationTracker(
+            lower_bound=lb_cost,
+            stagnation_limit=self.params.termination_condition(len(region)),
+            best_cost=best_cost,
+        )
+        while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
+            winner: Optional[AntResult] = None
+            for _ant in range(self.params.sequential_ants):
+                result = construct_order(
+                    ddg, self.machine, pheromone, prepared, self.params, rng
+                )
+                stats.merge(result.stats)
+                seconds += self.cost_model.construction_seconds(
+                    result.stats.steps,
+                    result.stats.ready_scans,
+                    result.stats.successor_ops,
+                )
+                if winner is None or result.rp_cost_value < winner.rp_cost_value:
+                    winner = result
+            assert winner is not None
+            trace.append(float(winner.rp_cost_value))
+            pheromone.decay()
+            pheromone.deposit(winner.order, winner.rp_cost_value - lb_cost)
+            seconds += self.cost_model.pheromone_seconds(pheromone.touched_entries())
+            if tracker.record_iteration(winner.rp_cost_value):
+                best_order = winner.order
+                best_peak = winner.peak
+        pass_result = PassResult(
+            invoked=True,
+            iterations=tracker.iterations,
+            initial_cost=best_cost,
+            final_cost=tracker.best_cost,
+            hit_lower_bound=tracker.hit_lower_bound,
+            seconds=seconds,
+            stats=stats,
+            trace=tuple(trace),
+        )
+        return best_order, best_peak, pass_result
+
+    # -- pass 2 ---------------------------------------------------------------
+
+    def _run_ilp_pass(
+        self,
+        ddg: DDG,
+        bounds: RegionBounds,
+        best_order: Tuple[int, ...],
+        best_peak: Dict[RegisterClass, int],
+        rng: random.Random,
+        reference_schedule: Optional[Schedule] = None,
+    ) -> Tuple[Schedule, PassResult]:
+        region = ddg.region
+        length_lb = bounds.length
+        # The pass-1 pressure constrains pass 2 at APRP granularity: any
+        # pressure that keeps the same occupancy step is acceptable.
+        target = self.machine.aprp(best_peak)
+        initial_schedule = schedule_in_order(ddg, best_order)
+        # When the heuristic's own latency-aware schedule already satisfies
+        # the pressure target (always true when pass 1 made no progress), it
+        # is a better starting point than the stretched pass-1 order.
+        if reference_schedule is not None and reference_schedule.length < initial_schedule.length:
+            ref_peak = peak_pressure(reference_schedule)
+            if all(ref_peak.get(cls, 0) <= limit for cls, limit in target.items()):
+                initial_schedule = reference_schedule
+        best_schedule = initial_schedule
+        best_length = initial_schedule.length
+
+        stats = ConstructionStats()
+        seconds = 0.0
+        trace = []
+        if best_length <= length_lb:
+            result = PassResult(False, 0, best_length, best_length, True, 0.0)
+            return best_schedule, result
+
+        seconds += self.cost_model.region_overhead
+        prepared = self.ilp_heuristic.prepare(ddg)
+        pheromone = PheromoneTable(ddg.num_instructions, self.params)
+        stall_heuristic = OptionalStallHeuristic(self.params, len(region))
+        tracker = TerminationTracker(
+            lower_bound=length_lb,
+            stagnation_limit=self.params.termination_condition(len(region)),
+            best_cost=best_length,
+        )
+        max_length = max(2 * best_length, best_length + 16)
+        while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
+            winner: Optional[AntResult] = None
+            for _ant in range(self.params.sequential_ants):
+                result = construct_cycles(
+                    ddg,
+                    self.machine,
+                    pheromone,
+                    prepared,
+                    self.params,
+                    rng,
+                    target_pressure=target,
+                    allow_optional_stalls=True,
+                    stall_heuristic=stall_heuristic,
+                    max_length=max_length,
+                )
+                stats.merge(result.stats)
+                seconds += self.cost_model.construction_seconds(
+                    result.stats.steps,
+                    result.stats.ready_scans,
+                    result.stats.successor_ops,
+                )
+                if result.alive and (winner is None or result.length < winner.length):
+                    winner = result
+            pheromone.decay()
+            if winner is None:
+                # Every ant violated the constraint: count a stagnant
+                # iteration; the pheromone decay alone reshapes the search.
+                trace.append(float("inf"))
+                tracker.record_iteration(tracker.best_cost)
+                seconds += self.cost_model.pheromone_seconds(pheromone.touched_entries())
+                continue
+            trace.append(float(winner.length))
+            pheromone.deposit(winner.order, winner.length - length_lb)
+            seconds += self.cost_model.pheromone_seconds(pheromone.touched_entries())
+            if tracker.record_iteration(winner.length):
+                assert winner.cycles is not None
+                best_schedule = Schedule(region, winner.cycles)
+                best_length = winner.length
+        pass_result = PassResult(
+            invoked=True,
+            iterations=tracker.iterations,
+            initial_cost=initial_schedule.length,
+            final_cost=best_length,
+            hit_lower_bound=tracker.hit_lower_bound,
+            seconds=seconds,
+            stats=stats,
+            trace=tuple(trace),
+        )
+        return best_schedule, pass_result
+
+    # -- the public entry point -------------------------------------------------
+
+    def schedule(
+        self,
+        ddg: DDG,
+        seed: int = 0,
+        initial_order: Optional[Tuple[int, ...]] = None,
+        bounds: Optional[RegionBounds] = None,
+        reference_schedule: Optional[Schedule] = None,
+    ) -> ACOResult:
+        """Run both passes on one region.
+
+        ``initial_order`` is the heuristic schedule's instruction order (the
+        pipeline passes the AMD baseline's); by default the LUC greedy order
+        is used. ``reference_schedule`` is the heuristic's latency-aware
+        schedule — pass 2 starts from it whenever it satisfies the pressure
+        target and beats the stretched pass-1 order. ``bounds`` may be
+        precomputed and shared.
+        """
+        if bounds is None:
+            bounds = region_bounds(ddg)
+        if initial_order is None:
+            from ..heuristics.list_scheduler import order_schedule
+
+            initial_order = order_schedule(ddg, heuristic=self.rp_heuristic).order
+        rng = random.Random(seed)
+
+        best_order, best_peak, pass1 = self._run_rp_pass(
+            ddg, bounds, tuple(initial_order), rng
+        )
+        schedule, pass2 = self._run_ilp_pass(
+            ddg, bounds, best_order, best_peak, rng, reference_schedule
+        )
+        final_peak = peak_pressure(schedule)
+        return ACOResult(
+            schedule=schedule,
+            peak=final_peak,
+            rp_cost_value=rp_cost(final_peak, self.machine),
+            pass1=pass1,
+            pass2=pass2,
+        )

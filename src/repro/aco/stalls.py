@@ -1,0 +1,92 @@
+"""The optional-stall heuristic (Sections IV-C and V-B).
+
+In pass 2 a stall is *necessary* when the ready list is empty, and
+*optional* when the ant chooses to wait for semi-ready instructions (issued
+producers whose latency has not yet elapsed) instead of scheduling a ready
+instruction that would push register pressure toward or past the pass-1
+target. The paper's heuristic considers
+
+* the pressure impact of the ready instructions,
+* the pressure impact of the semi-ready instructions, and
+* how many optional stalls were already inserted (the more stalls, the less
+  likely another one — too many make the schedule excessively long).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Mapping, Sequence
+
+from ..config import ACOParams
+from ..ir.instructions import Instruction
+from ..ir.registers import RegisterClass
+from ..rp.tracker import PressureTracker
+
+
+def pressure_excess(
+    pressure: Mapping[RegisterClass, int], target: Mapping[RegisterClass, int]
+) -> int:
+    """Worst per-class overshoot of ``pressure`` relative to ``target``.
+
+    Positive: some class exceeds its target; zero: at the target; negative:
+    strictly below it everywhere.
+    """
+    worst = -(10**9)
+    for cls, limit in target.items():
+        worst = max(worst, pressure.get(cls, 0) - limit)
+    return worst if worst != -(10**9) else 0
+
+
+class OptionalStallHeuristic:
+    """Decides whether to insert an optional stall at the current cycle."""
+
+    def __init__(self, params: ACOParams, region_size: int):
+        self.params = params
+        self.max_optional_stalls = max(
+            1, math.ceil(params.optional_stall_budget * region_size)
+        )
+
+    def _budget_factor(self, stalls_so_far: int) -> float:
+        return max(0.0, 1.0 - stalls_so_far / self.max_optional_stalls)
+
+    def should_stall(
+        self,
+        tracker: PressureTracker,
+        ready: Sequence[Instruction],
+        semi_ready: Sequence[Instruction],
+        target: Dict[RegisterClass, int],
+        stalls_so_far: int,
+        rng: random.Random,
+    ) -> bool:
+        """True if the ant should burn this cycle waiting (optional stall)."""
+        if not ready or not semi_ready:
+            return False  # nothing to trade off (empty ready = necessary stall)
+
+        best_ready = min(
+            pressure_excess(tracker.pressure_if_scheduled(inst), target)
+            for inst in ready
+        )
+        if best_ready < 0:
+            return False  # something schedulable stays strictly under target
+
+        # Waiting only helps if a semi-ready instruction relieves pressure
+        # relative to the best ready option.
+        best_semi = min(
+            pressure_excess(tracker.pressure_if_scheduled(inst), target)
+            for inst in semi_ready
+        )
+        if best_semi >= best_ready:
+            return False
+
+        if best_ready > 0:
+            # Every ready choice violates the constraint (the ant would be
+            # terminated): stall within the budget.
+            probability = self._budget_factor(stalls_so_far)
+        else:
+            # At the boundary: stall with the configured probability, fading
+            # as stalls accumulate.
+            probability = self.params.optional_stall_prob * self._budget_factor(
+                stalls_so_far
+            )
+        return rng.random() < probability

@@ -1,0 +1,42 @@
+"""Termination bookkeeping (Section IV-A).
+
+The search ends when the global best cost reaches the precomputed lower
+bound, or when ``stagnation_limit`` consecutive iterations pass without
+improving the global best (the paper's *termination condition*: 1 / 2 / 3
+iterations for the three region-size classes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TerminationTracker:
+    """Tracks global-best cost, stagnation and the LB cutoff for one pass."""
+
+    lower_bound: float
+    stagnation_limit: int
+    best_cost: float
+    iterations: int = 0
+    iterations_without_improvement: int = 0
+
+    def record_iteration(self, winner_cost: float) -> bool:
+        """Register an iteration's winner; returns True if it improved."""
+        self.iterations += 1
+        if winner_cost < self.best_cost:
+            self.best_cost = winner_cost
+            self.iterations_without_improvement = 0
+            return True
+        self.iterations_without_improvement += 1
+        return False
+
+    @property
+    def hit_lower_bound(self) -> bool:
+        return self.best_cost <= self.lower_bound
+
+    def should_stop(self) -> bool:
+        return (
+            self.hit_lower_bound
+            or self.iterations_without_improvement >= self.stagnation_limit
+        )

@@ -1,0 +1,93 @@
+"""Command-line interface: ``repro <experiment> [--scale NAME]``.
+
+``repro list`` shows the available experiments; ``repro all`` runs every
+table and figure in paper order. The scale (suite size and launch
+geometry) defaults to ``default`` and can also be set with the
+``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+
+def _render(result) -> str:
+    if isinstance(result, list):
+        return "\n".join(table.render() for table in result)
+    return result.render()
+
+
+def main(argv: List[str] = None) -> int:
+    from .experiments import EXPERIMENTS, SCALES, get_context
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Instruction Scheduling for the GPU on the GPU' "
+            "(CGO 2024): regenerate the paper's tables and figures on the "
+            "simulated device."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (%s), 'all', or 'list'" % ", ".join(sorted(EXPERIMENTS)),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="experiment scale (default: $REPRO_SCALE or 'default')",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each table as a CSV file into DIR (the paper's "
+        "artifact emits spreadsheets)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    scale = SCALES[args.scale] if args.scale else None
+    context = get_context(scale)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print("unknown experiment(s): %s" % ", ".join(unknown), file=sys.stderr)
+        print("available: %s" % ", ".join(sorted(EXPERIMENTS)), file=sys.stderr)
+        return 2
+
+    csv_dir = None
+    if args.csv:
+        import os
+
+        csv_dir = args.csv
+        os.makedirs(csv_dir, exist_ok=True)
+
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](context)
+        print(_render(result))
+        if csv_dir is not None:
+            import os
+
+            tables = result if isinstance(result, list) else [result]
+            for table in tables:
+                path = os.path.join(csv_dir, table.csv_filename())
+                with open(path, "w") as handle:
+                    handle.write(table.to_csv())
+                print("[wrote %s]" % path)
+        print("[%s finished in %.1fs]\n" % (name, time.time() - started))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

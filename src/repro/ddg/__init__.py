@@ -1,0 +1,31 @@
+"""Data dependence graphs and their analyses.
+
+This package provides:
+
+* :class:`~repro.ddg.graph.DDG` — flow/anti/output dependences with
+  latencies, built from a :class:`~repro.ir.block.SchedulingRegion`;
+* :class:`~repro.ddg.closure.TransitiveClosure` — bitset closure, pairwise
+  independence queries and the tight ready-list upper bound of Section V-A;
+* :mod:`~repro.ddg.analysis` — latency-weighted depth/height and the
+  critical path;
+* :mod:`~repro.ddg.lower_bounds` — the schedule-length and register-pressure
+  lower bounds that gate ACO invocation and terminate the search.
+"""
+
+from .graph import DDG, Dependence, DepKind
+from .closure import TransitiveClosure
+from .analysis import CriticalPathInfo, critical_path_info
+from .lower_bounds import length_lower_bound, pressure_lower_bounds, RegionBounds, region_bounds
+
+__all__ = [
+    "DDG",
+    "Dependence",
+    "DepKind",
+    "TransitiveClosure",
+    "CriticalPathInfo",
+    "critical_path_info",
+    "length_lower_bound",
+    "pressure_lower_bounds",
+    "RegionBounds",
+    "region_bounds",
+]

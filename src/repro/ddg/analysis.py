@@ -1,0 +1,52 @@
+"""Latency-weighted depth/height analysis and the critical path.
+
+Definitions (single-issue machine, cycles numbered from 0):
+
+* ``earliest_start[i]`` — the earliest cycle instruction ``i`` could issue if
+  latency were the only constraint: ``max over preds p of
+  earliest_start[p] + latency(p, i)`` (0 for roots).
+* ``height[i]`` — the latency-weighted longest path from ``i`` to any leaf,
+  counting ``i``'s own issue cycle: ``1`` for leaves, else ``max over succs s
+  of latency(i, s) + height[s]``. This is the classic Critical-Path priority.
+* ``critical_path_length`` — ``max_i earliest_start[i] + 1``: no legal
+  schedule can be shorter, regardless of issue width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .graph import DDG
+
+
+@dataclass(frozen=True)
+class CriticalPathInfo:
+    """Depth, height and critical-path data of one DDG."""
+
+    earliest_start: Tuple[int, ...]
+    height: Tuple[int, ...]
+    critical_path_length: int
+
+    def is_on_critical_path(self, i: int) -> bool:
+        """True iff ``i`` lies on some longest latency-weighted path."""
+        return self.earliest_start[i] + self.height[i] == self.critical_path_length
+
+
+def critical_path_info(ddg: DDG) -> CriticalPathInfo:
+    """Compute :class:`CriticalPathInfo` in one forward and one backward sweep."""
+    n = ddg.num_instructions
+    earliest = [0] * n
+    for i in range(n):  # program order is topological
+        for pred, latency in ddg.predecessors[i]:
+            candidate = earliest[pred] + latency
+            if candidate > earliest[i]:
+                earliest[i] = candidate
+    height = [1] * n
+    for i in range(n - 1, -1, -1):
+        for succ, latency in ddg.successors[i]:
+            candidate = latency + height[succ]
+            if candidate > height[i]:
+                height[i] = candidate
+    critical = max((earliest[i] + 1 for i in range(n)), default=0)
+    return CriticalPathInfo(tuple(earliest), tuple(height), critical)

@@ -1,0 +1,93 @@
+"""Lower bounds used to gate and terminate the ACO search.
+
+The pipeline (Section VI-A of the paper) compares every heuristic schedule
+against a precomputed lower bound: if the heuristic already meets the LB the
+schedule is provably optimal and ACO is skipped; during the search, hitting
+the LB terminates the kernel early.
+
+* **Schedule length LB** — ``max(critical path length, n)`` on a
+  single-issue machine (``n`` instructions need ``n`` issue slots; no
+  schedule beats the latency-weighted critical path).
+* **Register-pressure LB (per class)** — the maximum of
+  ``|live_in|``, ``|live_out|``, ``max_i |uses(i)|`` and
+  ``max_i |defs(i) plus the live-through uses of i|``: whichever cycle
+  instruction ``i`` issues in, every register it reads is live just before
+  it and every register it writes is live just after, so these counts are
+  unavoidable. These are sound but not tight; a tighter bound would only
+  make ACO run *less* often, so soundness is what matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..ir.block import SchedulingRegion
+from ..ir.registers import RegisterClass
+from .analysis import critical_path_info
+from .graph import DDG
+
+
+def length_lower_bound(ddg: DDG) -> int:
+    """Schedule-length LB for a single-issue machine."""
+    info = critical_path_info(ddg)
+    return max(info.critical_path_length, ddg.num_instructions)
+
+
+def pressure_lower_bounds(region: SchedulingRegion) -> Dict[RegisterClass, int]:
+    """A sound per-class PRP lower bound (see module docstring)."""
+    classes = region.register_classes()
+    bounds: Dict[RegisterClass, int] = {}
+    for cls in classes:
+        live_in = sum(1 for r in region.live_in if r.reg_class is cls)
+        live_out = sum(1 for r in region.live_out if r.reg_class is cls)
+        bound = max(live_in, live_out)
+        for inst in region:
+            uses = sum(1 for r in inst.uses if r.reg_class is cls)
+            defs = sum(1 for r in inst.defs if r.reg_class is cls)
+            # Just after `inst` issues its defs are live together with any of
+            # its uses that still have a later consumer (a successor reads
+            # them) or are live-out.
+            live_through = 0
+            for reg in inst.uses:
+                if reg.reg_class is not cls:
+                    continue
+                if reg in region.live_out:
+                    live_through += 1
+                    continue
+                if any(
+                    other.index != inst.index and other.index > inst.index
+                    and reg in other.uses
+                    for other in region
+                ):
+                    live_through += 1
+            bound = max(bound, uses, defs + live_through)
+        bounds[cls] = bound
+    return bounds
+
+
+@dataclass(frozen=True)
+class RegionBounds:
+    """All LBs of one region, computed once and shared by both passes."""
+
+    length: int
+    pressure: Tuple[Tuple[RegisterClass, int], ...]
+
+    def pressure_of(self, cls: RegisterClass) -> int:
+        for klass, bound in self.pressure:
+            if klass is cls:
+                return bound
+        return 0
+
+    @property
+    def pressure_dict(self) -> Dict[RegisterClass, int]:
+        return dict(self.pressure)
+
+
+def region_bounds(ddg: DDG) -> RegionBounds:
+    """Compute :class:`RegionBounds` for the region of ``ddg``."""
+    pressure = pressure_lower_bounds(ddg.region)
+    return RegionBounds(
+        length=length_lower_bound(ddg),
+        pressure=tuple(sorted(pressure.items(), key=lambda kv: kv[0].name)),
+    )

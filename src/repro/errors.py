@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming mistakes (``TypeError`` and friends propagate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: unknown opcode, duplicate definition, bad register."""
+
+
+class ParseError(IRError):
+    """The textual region format could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = "line {}: {}".format(line, message)
+        super().__init__(message)
+
+
+class DDGError(ReproError):
+    """Dependence-graph construction or analysis failure (e.g. a cycle)."""
+
+
+class ScheduleError(ReproError):
+    """An illegal schedule: dependence, latency or issue-limit violation."""
+
+
+class MachineModelError(ReproError):
+    """Inconsistent machine description (e.g. a non-monotone occupancy table)."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration parameters."""
+
+
+class GPUSimError(ReproError):
+    """SIMT simulator misuse (bad launch geometry, lane mismatch, ...)."""
+
+
+class PipelineError(ReproError):
+    """Compile-pipeline failure."""

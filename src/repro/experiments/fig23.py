@@ -1,0 +1,44 @@
+"""Figures 2 / 3 — distribution of speedup ratios per size class.
+
+The paper plots histograms of per-region parallel-over-sequential speedups
+for pass 1 (Figure 2) and pass 2 (Figure 3). This renders the same
+distributions as text histograms: one row per speedup bucket, one column
+per size class.
+"""
+
+from __future__ import annotations
+
+from ..config import SIZE_CLASS_LABELS
+from .common import ExperimentContext
+from .report import ExperimentTable
+
+_BUCKETS = ((0.0, 1.0), (1.0, 2.0), (2.0, 4.0), (4.0, 8.0), (8.0, 16.0), (16.0, 32.0))
+
+
+def _histogram(context: ExperimentContext, pass_index: int, title: str) -> ExperimentTable:
+    records = [
+        r for r in context.speedup_records() if r.pass_index == pass_index
+    ]
+    table = ExperimentTable(
+        title="%s (scale=%s)" % (title, context.scale.name),
+        headers=("Speedup",) + SIZE_CLASS_LABELS,
+    )
+    for low, high in _BUCKETS:
+        counts = [0] * len(SIZE_CLASS_LABELS)
+        for record in records:
+            if low <= record.speedup < high:
+                counts[record.size_class] += 1
+        table.add_row("[%g, %g)" % (low, high), *counts)
+    table.add_note(
+        "paper shape: mass shifts to higher buckets as region size grows, "
+        "and pass-2 mass sits lower than pass-1 mass (thread divergence)"
+    )
+    return table
+
+
+def run_fig2(context: ExperimentContext) -> ExperimentTable:
+    return _histogram(context, 1, "Figure 2: speedup distribution in the first pass")
+
+
+def run_fig3(context: ExperimentContext) -> ExperimentTable:
+    return _histogram(context, 2, "Figure 3: speedup distribution in the second pass")

@@ -1,0 +1,65 @@
+"""Figure 4 — execution-time speedup of the benchmarks.
+
+The modified (parallel ACO, cycle threshold 21) build is compared against
+the base build over the scheduling-sensitive benchmarks; benchmarks with a
+significant difference (>= 1%) are listed in descending order, followed by
+the geometric mean.
+
+Paper shape: all significant differences are improvements (max regression
+0.7%); max improvement 74%; geometric mean 13.2%; 20 benchmarks improve by
+>= 5% and 11 by >= 10%.
+"""
+
+from __future__ import annotations
+
+import math
+from ..perf.exec_model import ExecutionModel, benchmark_results, sensitive_benchmarks
+from .common import ExperimentContext, threshold_pick
+from .report import ExperimentTable
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    suite = context.suite
+    model = ExecutionModel()
+    runs = [context.run("baseline"), context.run("parallel"), context.run("cp")]
+    sensitive = sensitive_benchmarks(suite, runs, model)
+    pick, _invoked = threshold_pick(context, 21)
+    results = benchmark_results(
+        suite, context.run("parallel"), model, benchmarks=sensitive, pick_aco=pick
+    )
+    significant = sorted(
+        (r for r in results if r.significant),
+        key=lambda r: -r.improvement_pct,
+    )
+
+    table = ExperimentTable(
+        title="Figure 4: execution-time speedup of benchmarks (scale=%s)"
+        % context.scale.name,
+        headers=("Benchmark", "Base GB/s", "ACO GB/s", "Improvement"),
+    )
+    for r in significant:
+        table.add_row(
+            r.name,
+            "%.1f" % r.base_throughput,
+            "%.1f" % r.aco_throughput,
+            "%+.1f%%" % r.improvement_pct,
+        )
+    ratios = [r.aco_throughput / r.base_throughput for r in significant]
+    geomean = (
+        math.exp(sum(math.log(x) for x in ratios) / len(ratios)) if ratios else 1.0
+    )
+    table.add_row("GEOMEAN (significant)", "-", "-", "%+.1f%%" % (100 * (geomean - 1)))
+    improvements = [r.improvement_pct for r in significant if r.improvement_pct > 0]
+    table.add_note(
+        "max improvement %.1f%% (paper 74%%); >=5%%: %d (paper 20); >=10%%: %d "
+        "(paper 11); geomean %.1f%% (paper 13.2%%)"
+        % (
+            max(improvements, default=0.0),
+            sum(1 for v in improvements if v >= 5),
+            sum(1 for v in improvements if v >= 10),
+            100 * (geomean - 1),
+        )
+    )
+    regressions = [-r.improvement_pct for r in results if r.improvement_pct < 0]
+    table.add_note("max regression %.2f%% (paper 0.7%%)" % max(regressions, default=0.0))
+    return table

@@ -1,0 +1,80 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return "%.2f" % value
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """A rendered experiment: title, column headers, rows, and notes.
+
+    ``paper`` rows (optional) carry the published numbers for side-by-side
+    comparison in EXPERIMENTS.md.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                "row has %d cells for %d headers" % (len(cells), len(self.headers))
+            )
+        self.rows.append(tuple(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def to_csv(self) -> str:
+        """Serialize as CSV (the paper's artifact emits spreadsheets).
+
+        The title and notes become ``#`` comment lines.
+        """
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        buffer.write("# %s\n" % self.title)
+        writer = csv.writer(buffer)
+        writer.writerow([_format_cell(h) for h in self.headers])
+        for row in self.rows:
+            writer.writerow([_format_cell(c) for c in row])
+        for note in self.notes:
+            buffer.write("# note: %s\n" % note)
+        return buffer.getvalue()
+
+    def csv_filename(self) -> str:
+        """A filesystem-safe name derived from the title."""
+        import re
+
+        stem = self.title.split("(")[0].strip().lower()
+        stem = re.sub(r"[^a-z0-9]+", "_", stem).strip("_")
+        return stem + ".csv"
+
+    def render(self) -> str:
+        cells = [[_format_cell(h) for h in self.headers]] + [
+            [_format_cell(c) for c in row] for row in self.rows
+        ]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.headers))]
+        lines = [self.title, "=" * len(self.title)]
+        header, *body = cells
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append("note: " + note)
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.render()

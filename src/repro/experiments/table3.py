@@ -1,0 +1,104 @@
+"""Tables 3.a / 3.b — parallel speedup over sequential ACO by size class.
+
+Paper values (geomean / max / min speedup per size class):
+
+* pass 1: [1-49] 2.07 / 5.69 / 0.63; [50-99] 7.44 / 12.69 / 3.30;
+  [>=100] 12.48 / 27.19 / 5.66
+* pass 2: [1-49] 1.99 / 8.25 / 0.45; [50-99] 4.80 / 13.03 / 1.08;
+  [>=100] 7.55 / 17.37 / 4.10
+
+Speedups are computed over *comparable regions* only (both algorithms took
+the same number of iterations, Section VI-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import SIZE_CLASS_LABELS, geometric_mean
+from .common import ExperimentContext, SpeedupRecord
+from .report import ExperimentTable
+
+_PAPER = {
+    1: {"geo": (2.07, 7.44, 12.48), "max": (5.69, 12.69, 27.19), "min": (0.63, 3.30, 5.66)},
+    2: {"geo": (1.99, 4.80, 7.55), "max": (8.25, 13.03, 17.37), "min": (0.45, 1.08, 4.10)},
+}
+
+
+def _class_buckets(records: List[SpeedupRecord], pass_index: int):
+    buckets: Dict[int, List[SpeedupRecord]] = {i: [] for i in range(len(SIZE_CLASS_LABELS))}
+    for record in records:
+        if record.pass_index == pass_index:
+            buckets[record.size_class].append(record)
+    return buckets
+
+
+def _pass_table(
+    context: ExperimentContext, records: List[SpeedupRecord], pass_index: int
+) -> ExperimentTable:
+    par = context.run("parallel")
+    processed = {i: 0 for i in range(len(SIZE_CLASS_LABELS))}
+    for _kernel, outcome in par.all_regions():
+        is_processed = (
+            outcome.pass1_processed if pass_index == 1 else outcome.pass2_processed
+        )
+        if is_processed:
+            from ..config import size_class_index
+
+            processed[size_class_index(outcome.size)] += 1
+    buckets = _class_buckets(records, pass_index)
+
+    suffix = "a" if pass_index == 1 else "b"
+    table = ExperimentTable(
+        title="Table 3.%s: parallel speedup in pass %d (scale=%s)"
+        % (suffix, pass_index, context.scale.name),
+        headers=("Stat",) + SIZE_CLASS_LABELS + ("Paper",),
+    )
+    paper = _PAPER[pass_index]
+
+    def row(label, values, paper_values):
+        table.add_row(
+            label,
+            *values,
+            " / ".join(str(v) for v in paper_values),
+        )
+
+    row(
+        "Regions processed by ACO",
+        [processed[i] for i in range(3)],
+        ("-", "-", "-"),
+    )
+    row("Comparable regions", [len(buckets[i]) for i in range(3)], ("-", "-", "-"))
+    row(
+        "Geometric mean speedup",
+        [
+            "%.2f" % geometric_mean([r.speedup for r in buckets[i]]) if buckets[i] else "-"
+            for i in range(3)
+        ],
+        paper["geo"],
+    )
+    row(
+        "Max. speedup",
+        [
+            "%.2f" % max(r.speedup for r in buckets[i]) if buckets[i] else "-"
+            for i in range(3)
+        ],
+        paper["max"],
+    )
+    row(
+        "Min. speedup",
+        [
+            "%.2f" % min(r.speedup for r in buckets[i]) if buckets[i] else "-"
+            for i in range(3)
+        ],
+        paper["min"],
+    )
+    return table
+
+
+def run(context: ExperimentContext) -> List[ExperimentTable]:
+    records = context.speedup_records()
+    return [
+        _pass_table(context, records, 1),
+        _pass_table(context, records, 2),
+    ]

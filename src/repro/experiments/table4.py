@@ -1,0 +1,161 @@
+"""Tables 4.a / 4.b — effect of the memory and divergence optimizations.
+
+Each processed region is rescheduled with one optimization bundle disabled
+(everything else identical, same seeds); the table reports the percentage
+*increase* in ACO scheduling time of the crippled configuration over the
+optimized one — i.e. the improvement the optimizations deliver.
+
+Paper values (overall / max improvement in ACO time):
+
+* memory optimizations (4.a): pass 1 645-1055% overall, up to 1929% max;
+  pass 2 593-994% overall, up to 3052% max;
+* divergence optimizations (4.b): pass 1 0.68-7.0% overall, up to 66% max;
+  pass 2 3.78-15.42% overall, up to 101% max (largest on big regions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SIZE_CLASS_LABELS, size_class_index
+from ..ddg.graph import DDG
+from ..suite.rng import derive_seed
+from .common import ExperimentContext
+from .report import ExperimentTable
+
+_PAPER_MEMORY = {
+    ("overall", 1): ("645%", "1055%", "897%"),
+    ("max", 1): ("1163%", "1592%", "1929%"),
+    ("overall", 2): ("593%", "994%", "709%"),
+    ("max", 2): ("2647%", "1629%", "3052%"),
+}
+_PAPER_DIVERGENCE = {
+    ("overall", 1): ("0.68%", "3.81%", "7.00%"),
+    ("max", 1): ("17.14%", "15.84%", "65.96%"),
+    ("overall", 2): ("3.78%", "12.06%", "15.42%"),
+    ("max", 2): ("55.56%", "71.53%", "101.40%"),
+}
+
+
+def _per_iteration(pass_result) -> Optional[float]:
+    """Pass seconds normalized per iteration (None when the pass idle).
+
+    Normalization keeps the comparison fair when a policy change alters the
+    random search trajectory and therefore the iteration count.
+    """
+    if pass_result is None or not pass_result.invoked or pass_result.iterations == 0:
+        return None
+    return pass_result.seconds / pass_result.iterations
+
+
+def _variant_times(
+    context: ExperimentContext, variant_gpu
+) -> Dict[str, Tuple[Optional[float], Optional[float]]]:
+    """Re-schedule every processed region under ``variant_gpu``.
+
+    Returns region name -> (pass1 s/iter, pass2 s/iter).
+    """
+    scheduler = context.parallel_scheduler(gpu=variant_gpu)
+    par = context.run("parallel")
+    suite_seed = context.suite.params.seed
+    times: Dict[str, Tuple[Optional[float], Optional[float]]] = {}
+    for kernel_outcome in par.kernels:
+        kernel = kernel_outcome.kernel
+        for index, outcome in enumerate(kernel_outcome.regions):
+            if not outcome.aco_invoked:
+                continue
+            seed = derive_seed(suite_seed, "schedule", kernel.name, index)
+            heuristic_schedule = (
+                outcome.schedule
+                if outcome.decision.value != "aco-applied"
+                else None
+            )
+            result = scheduler.schedule(
+                DDG(kernel.regions[index]),
+                seed=seed,
+                initial_order=None
+                if heuristic_schedule is None
+                else heuristic_schedule.order,
+            )
+            times[outcome.region_name] = (
+                _per_iteration(result.pass1),
+                _per_iteration(result.pass2),
+            )
+    return times
+
+
+def _ablation_table(
+    context: ExperimentContext,
+    title: str,
+    variant_gpu,
+    paper: Dict[Tuple[str, int], Tuple[str, str, str]],
+) -> ExperimentTable:
+    variant = _variant_times(context, variant_gpu)
+    par = context.run("parallel")
+
+    # Aggregate per (pass, size class): sums for overall, per-region for max.
+    sums_on = {(p, c): 0.0 for p in (1, 2) for c in range(3)}
+    sums_off = {(p, c): 0.0 for p in (1, 2) for c in range(3)}
+    best = {(p, c): 0.0 for p in (1, 2) for c in range(3)}
+    for _kernel, outcome in par.all_regions():
+        if outcome.region_name not in variant:
+            continue
+        off1, off2 = variant[outcome.region_name]
+        cls = size_class_index(outcome.size)
+        for pass_index, off_seconds, pass_result in (
+            (1, off1, outcome.pass1),
+            (2, off2, outcome.pass2),
+        ):
+            on_seconds = _per_iteration(pass_result)
+            if on_seconds is None or off_seconds is None or on_seconds <= 0:
+                continue
+            sums_on[(pass_index, cls)] += on_seconds
+            sums_off[(pass_index, cls)] += off_seconds
+            improvement = 100.0 * (off_seconds - on_seconds) / on_seconds
+            best[(pass_index, cls)] = max(best[(pass_index, cls)], improvement)
+
+    table = ExperimentTable(
+        title="%s (scale=%s)" % (title, context.scale.name),
+        headers=("Stat",) + SIZE_CLASS_LABELS + ("Paper",),
+    )
+    for pass_index in (1, 2):
+        overall = []
+        for cls in range(3):
+            on = sums_on[(pass_index, cls)]
+            off = sums_off[(pass_index, cls)]
+            overall.append("%.1f%%" % (100.0 * (off - on) / on) if on > 0 else "-")
+        table.add_row(
+            "Pass %d overall improvement" % pass_index,
+            *overall,
+            " / ".join(paper[("overall", pass_index)]),
+        )
+        table.add_row(
+            "Pass %d max. improvement" % pass_index,
+            *[
+                "%.1f%%" % best[(pass_index, cls)]
+                if sums_on[(pass_index, cls)] > 0
+                else "-"
+                for cls in range(3)
+            ],
+            " / ".join(paper[("max", pass_index)]),
+        )
+    return table
+
+
+def run(context: ExperimentContext) -> List[ExperimentTable]:
+    memory_off = context.scale.gpu.without_memory_opts()
+    divergence_off = context.scale.gpu.without_divergence_opts()
+    return [
+        _ablation_table(
+            context,
+            "Table 4.a: improvement in ACO time from memory optimizations",
+            memory_off,
+            _PAPER_MEMORY,
+        ),
+        _ablation_table(
+            context,
+            "Table 4.b: improvement in ACO time from divergence optimizations",
+            divergence_off,
+            _PAPER_DIVERGENCE,
+        ),
+    ]

@@ -1,0 +1,89 @@
+"""Table 6 — experimentation with optional stalls.
+
+Large regions are rescheduled with the fraction of wavefronts allowed to
+insert optional stalls swept over {0%, 25%, 50%, 75%}; 0% is the baseline.
+Reported, per fraction: the increase in ACO scheduling time, the overall
+improvement in final schedule length, and the max improvement on a region.
+
+Paper values (vs. 0%): time +8.65% / +12.30% / +20.28%; overall length
+improvement 0.27% / 0.30% / 0.95%; max improvement 15.75% / 15.75% /
+23.58%. The paper picks 25% as the best time/quality balance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import replace_params
+from ..ddg.graph import DDG
+from ..suite.rng import derive_seed
+from .common import ExperimentContext
+from .report import ExperimentTable
+
+_FRACTIONS = (0.0, 0.25, 0.5, 0.75)
+_PAPER_TIME = ("-", "8.65%", "12.30%", "20.28%")
+_PAPER_LENGTH = ("-", "0.27%", "0.30%", "0.95%")
+_PAPER_MAX = ("-", "15.75%", "15.75%", "23.58%")
+
+
+def _sweep(context: ExperimentContext) -> Dict[float, List[Tuple[str, float, int]]]:
+    """fraction -> [(region, pass2 seconds, final length)] on large regions."""
+    par = context.run("parallel")
+    floor = context.scale.large_region_floor
+    suite_seed = context.suite.params.seed
+    results: Dict[float, List[Tuple[str, float, int]]] = {f: [] for f in _FRACTIONS}
+    for fraction in _FRACTIONS:
+        gpu = replace_params(context.scale.gpu, stall_wavefront_fraction=fraction)
+        scheduler = context.parallel_scheduler(gpu=gpu)
+        for kernel_outcome in par.kernels:
+            kernel = kernel_outcome.kernel
+            for index, outcome in enumerate(kernel_outcome.regions):
+                if outcome.size < floor or not outcome.pass2_processed:
+                    continue
+                seed = derive_seed(suite_seed, "schedule", kernel.name, index)
+                result = scheduler.schedule(DDG(kernel.regions[index]), seed=seed)
+                results[fraction].append(
+                    (outcome.region_name, result.pass2.seconds, result.length)
+                )
+    return results
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    sweep = _sweep(context)
+    baseline = {name: (secs, length) for name, secs, length in sweep[0.0]}
+
+    table = ExperimentTable(
+        title="Table 6: experimentation with optional stalls "
+        "(regions >= %d, scale=%s)" % (context.scale.large_region_floor, context.scale.name),
+        headers=("Stat", "0%", "25%", "50%", "75%", "Paper (25/50/75)"),
+    )
+    time_cells, len_cells, max_cells = ["-"], ["-"], ["-"]
+    for fraction in _FRACTIONS[1:]:
+        base_time = base_len = frac_time = frac_len = 0.0
+        best = 0.0
+        for name, secs, length in sweep[fraction]:
+            if name not in baseline:
+                continue
+            b_secs, b_len = baseline[name]
+            base_time += b_secs
+            base_len += b_len
+            frac_time += secs
+            frac_len += length
+            if b_len > 0:
+                best = max(best, 100.0 * (b_len - length) / b_len)
+        time_cells.append(
+            "%.2f%%" % (100.0 * (frac_time - base_time) / base_time) if base_time else "-"
+        )
+        len_cells.append(
+            "%.2f%%" % (100.0 * (base_len - frac_len) / base_len) if base_len else "-"
+        )
+        max_cells.append("%.2f%%" % best)
+    table.add_row("% increase in ACO time", *time_cells, " / ".join(_PAPER_TIME[1:]))
+    table.add_row(
+        "% improvement in schedule length", *len_cells, " / ".join(_PAPER_LENGTH[1:])
+    )
+    table.add_row(
+        "Max. % improvement in schedule length", *max_cells, " / ".join(_PAPER_MAX[1:])
+    )
+    table.add_note("sample: %d large regions" % len(sweep[0.0]))
+    return table

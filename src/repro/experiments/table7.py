@@ -1,0 +1,86 @@
+"""Table 7 — experimentation with the cycle-based filter.
+
+For each cycle threshold the modified build is re-derived post hoc (regions
+whose length gap falls within the threshold keep their heuristic schedule)
+and compared against the base build through the execution model, over the
+scheduling-sensitive benchmarks. Reported per threshold: counts of
+execution-time improvements and regressions of at least 3/5/10%, and the
+maximum regression.
+
+Paper values: thresholds 5..25; regressions >= 3% fall from 4 to 0 as the
+threshold grows; 21 eliminates all significant regressions (max regression
+0.7%) while keeping 20+ improvements >= 3%.
+"""
+
+from __future__ import annotations
+
+from ..perf.exec_model import ExecutionModel, benchmark_results, sensitive_benchmarks
+from .common import ExperimentContext, threshold_pick
+from .report import ExperimentTable
+
+_THRESHOLDS = (5, 10, 15, 20, 21, 25)
+_PAPER = {
+    "Imps. >= 3%": (18, 20, 20, 21, 20, 20),
+    "Imps. >= 5%": (17, 20, 20, 24, 24, 24),
+    "Imps. >= 10%": (9, 10, 11, 9, 11, 11),
+    "Regs. >= 3%": (4, 3, 1, 1, 0, 0),
+    "Regs. >= 5%": (4, 3, 1, 1, 0, 0),
+    "Regs. >= 10%": (3, 3, 1, 1, 0, 0),
+    "Max. Reg.": ("14.5%", "14.5%", "10.5%", "10.5%", "0.7%", "1.3%"),
+}
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    suite = context.suite
+    model = ExecutionModel()
+    runs = [context.run("baseline"), context.run("parallel"), context.run("cp")]
+    sensitive = sensitive_benchmarks(suite, runs, model)
+
+    per_threshold = {}
+    for threshold in _THRESHOLDS:
+        pick, _invoked = threshold_pick(context, threshold)
+        results = benchmark_results(
+            suite,
+            context.run("parallel"),
+            model,
+            benchmarks=sensitive,
+            pick_aco=pick,
+        )
+        imps = [r.improvement_pct for r in results if r.improvement_pct > 0]
+        regs = [-r.improvement_pct for r in results if r.improvement_pct < 0]
+        per_threshold[threshold] = {
+            "i3": sum(1 for v in imps if v >= 3),
+            "i5": sum(1 for v in imps if v >= 5),
+            "i10": sum(1 for v in imps if v >= 10),
+            "r3": sum(1 for v in regs if v >= 3),
+            "r5": sum(1 for v in regs if v >= 5),
+            "r10": sum(1 for v in regs if v >= 10),
+            "maxreg": max(regs, default=0.0),
+        }
+
+    table = ExperimentTable(
+        title="Table 7: experimentation with the cycle-based filter (scale=%s)"
+        % context.scale.name,
+        headers=("Cycles",) + tuple(str(t) for t in _THRESHOLDS) + ("Paper",),
+    )
+    rows = [
+        ("Imps. >= 3%", "i3"),
+        ("Imps. >= 5%", "i5"),
+        ("Imps. >= 10%", "i10"),
+        ("Regs. >= 3%", "r3"),
+        ("Regs. >= 5%", "r5"),
+        ("Regs. >= 10%", "r10"),
+    ]
+    for label, key in rows:
+        table.add_row(
+            label,
+            *[per_threshold[t][key] for t in _THRESHOLDS],
+            " / ".join(str(v) for v in _PAPER[label]),
+        )
+    table.add_row(
+        "Max. Reg.",
+        *["%.1f%%" % per_threshold[t]["maxreg"] for t in _THRESHOLDS],
+        " / ".join(_PAPER["Max. Reg."]),
+    )
+    table.add_note("sensitive benchmarks: %d of %d" % (len(sensitive), len(suite.benchmarks)))
+    return table

@@ -1,0 +1,42 @@
+"""The simulated GPU device.
+
+Geometry matches the paper's Radeon VII: 60 compute units, 4 SIMDs per CU,
+64-lane wavefronts, 1.8 GHz. The scheduling kernel's footprint limits it to
+one resident wavefront per SIMD, so up to ``compute_units * simds_per_cu``
+wavefronts run concurrently; the paper launches 180 single-wavefront blocks,
+which fit in one batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import GPUSimError
+from ..timing import DEFAULT_GPU_COST, GPUCostModel
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """Geometry plus the cycle/seconds cost model."""
+
+    name: str = "radeon-vii"
+    compute_units: int = 60
+    simds_per_cu: int = 4
+    wavefront_size: int = 64
+    cost: GPUCostModel = field(default_factory=lambda: DEFAULT_GPU_COST)
+
+    def __post_init__(self):
+        if min(self.compute_units, self.simds_per_cu, self.wavefront_size) < 1:
+            raise GPUSimError("device geometry must be positive")
+
+    @property
+    def concurrent_wavefronts(self) -> int:
+        """Wavefronts resident at once (scheduling kernel: 1 per SIMD)."""
+        return self.compute_units * self.simds_per_cu
+
+    def batches(self, num_wavefronts: int) -> int:
+        """How many waves of execution ``num_wavefronts`` require."""
+        if num_wavefronts < 1:
+            raise GPUSimError("need at least one wavefront")
+        cap = self.concurrent_wavefronts
+        return (num_wavefronts + cap - 1) // cap

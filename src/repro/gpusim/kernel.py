@@ -1,0 +1,104 @@
+"""Kernel-side and transfer-side cost accounting.
+
+:class:`KernelAccounting` accumulates cycles per wavefront while the colony
+executes; the colony reports abstract operations (compute ops, memory
+words, allocations) and the accounting applies the device's coalescing and
+divergence rules. :class:`TransferAccounting` models the host<->device
+copies of Section V-A, where consolidating many small copies into one
+batched copy is one of the headline memory optimizations.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import GPUSimError
+from .device import GPUDevice
+
+ArrayOrFloat = Union[np.ndarray, float, int]
+
+
+class KernelAccounting:
+    """Per-wavefront cycle accumulation for one kernel launch."""
+
+    def __init__(self, device: GPUDevice, num_wavefronts: int, coalesced: bool,
+                 dynamic_alloc: bool = False):
+        if num_wavefronts < 1:
+            raise GPUSimError("kernel needs at least one wavefront")
+        self.device = device
+        self.num_wavefronts = num_wavefronts
+        self.coalesced = coalesced
+        self.dynamic_alloc = dynamic_alloc
+        self.wavefront_cycles = np.zeros(num_wavefronts, dtype=np.float64)
+
+    # -- charging primitives (all accept per-wavefront arrays or scalars) ----
+
+    def charge_compute(self, ops: ArrayOrFloat) -> None:
+        """Lockstep ALU work: ``ops`` abstract operations per wavefront."""
+        self.wavefront_cycles += np.asarray(ops, dtype=np.float64) * self.device.cost.cycles_per_op
+
+    def charge_memory(self, words: ArrayOrFloat) -> None:
+        """Wavefront-wide state accesses of ``words`` array rows.
+
+        Coalesced (SoA) layout: one transaction per row. AoS layout: the
+        lanes' strided accesses split into ``uncoalesced_factor``
+        transactions per row.
+        """
+        words = np.asarray(words, dtype=np.float64)
+        factor = 1.0 if self.coalesced else self.device.cost.uncoalesced_factor
+        self.wavefront_cycles += words * factor * self.device.cost.cycles_per_transaction
+
+    def charge_alloc(self, allocations: ArrayOrFloat) -> None:
+        """Device-side dynamic allocations (only charged in naive mode)."""
+        if not self.dynamic_alloc:
+            return
+        allocations = np.asarray(allocations, dtype=np.float64)
+        self.wavefront_cycles += allocations * self.device.cost.alloc_cycles
+
+    def charge_uniform_cycles(self, cycles: float) -> None:
+        """The same cycle cost on every wavefront (reductions, sync)."""
+        self.wavefront_cycles += cycles
+
+    # -- results ---------------------------------------------------------------
+
+    def kernel_seconds(self) -> float:
+        """Execution time of the launch (excludes launch overhead).
+
+        Wavefronts dispatch in launch order; each batch of
+        ``device.concurrent_wavefronts`` runs concurrently and takes its
+        slowest member's time.
+        """
+        cap = self.device.concurrent_wavefronts
+        total_cycles = 0.0
+        for start in range(0, self.num_wavefronts, cap):
+            total_cycles += float(self.wavefront_cycles[start:start + cap].max())
+        return total_cycles / self.device.cost.clock_hz
+
+
+class TransferAccounting:
+    """Host<->device copy accounting for one region's scheduling."""
+
+    def __init__(self, device: GPUDevice, batched: bool):
+        self.device = device
+        self.batched = batched
+        self.total_bytes = 0
+        self.array_count = 0
+
+    def add_array(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise GPUSimError("array size must be >= 0")
+        self.total_bytes += num_bytes
+        self.array_count += 1
+
+    def add_ndarray(self, array: np.ndarray) -> None:
+        self.add_array(int(array.nbytes))
+
+    def seconds(self) -> float:
+        """Copy time: one batched call, or one call per array when naive.
+
+        Includes the result copy-back (one more call either way).
+        """
+        calls = (1 if self.batched else max(1, self.array_count)) + 1
+        return self.device.cost.copy_seconds(self.total_bytes, calls)

@@ -1,0 +1,23 @@
+"""Cost of the parallel reduction that selects the iteration winner.
+
+Section IV-B: after all threads construct their schedules, they cooperate
+in a tree reduction to find the best schedule of the iteration. An
+efficient reduction (Harris-style, sequential addressing) over ``t``
+threads takes ``ceil(log2 t)`` strided steps; each step is a handful of
+compare/exchange operations plus one shared/global memory round trip.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..timing import GPUCostModel
+
+
+def reduction_cycles(num_threads: int, cost: GPUCostModel) -> float:
+    """Cycles for one iteration-winner reduction over ``num_threads``."""
+    if num_threads <= 1:
+        return 0.0
+    steps = math.ceil(math.log2(num_threads))
+    per_step = 4 * cost.cycles_per_op + cost.cycles_per_transaction
+    return steps * per_step

@@ -1,0 +1,31 @@
+"""A pure Critical-Path baseline build.
+
+The paper's sensitivity filter (Section VI-A) compares three builds per
+benchmark: base LLVM (AMD scheduler), parallel ACO, and the CP heuristic.
+This wrapper gives the CP heuristic the same scheduler interface the
+pipeline's baseline slot expects.
+"""
+
+from __future__ import annotations
+
+from ..ddg.graph import DDG
+from ..machine.model import MachineModel
+from ..schedule.schedule import Schedule
+from .critical_path import CriticalPathHeuristic
+from .list_scheduler import list_schedule, order_schedule
+
+
+class CriticalPathListScheduler:
+    """Greedy list scheduling with the CP priority (ILP-aggressive)."""
+
+    name = "critical-path"
+
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+        self._heuristic = CriticalPathHeuristic()
+
+    def schedule(self, ddg: DDG) -> Schedule:
+        return list_schedule(ddg, self.machine, heuristic=self._heuristic)
+
+    def order_only(self, ddg: DDG) -> Schedule:
+        return order_schedule(ddg, heuristic=self._heuristic)

@@ -1,0 +1,24 @@
+"""The Critical-Path (CP) guiding heuristic.
+
+Scores a candidate by its latency-weighted height in the DDG: instructions
+that head long dependence chains issue first, which minimizes schedule
+length aggressively (Section V-B calls CP one of the "more aggressive ILP
+heuristics").
+"""
+
+from __future__ import annotations
+
+from ..ddg.graph import DDG
+from .base import GuidingHeuristic, PreparedHeuristic, SchedulingState
+
+
+class PreparedCriticalPath(PreparedHeuristic):
+    def score(self, index: int, state: SchedulingState) -> float:
+        return float(self.cp_info.height[index])
+
+
+class CriticalPathHeuristic(GuidingHeuristic):
+    name = "critical-path"
+
+    def prepare(self, ddg: DDG) -> PreparedHeuristic:
+        return PreparedCriticalPath(ddg)

@@ -1,0 +1,150 @@
+"""Greedy list scheduling.
+
+Two entry points, matching the two passes of the RP-aware problem:
+
+* :func:`order_schedule` — latency-blind: repeatedly pick the best-scoring
+  instruction from the dependence-ready set and issue instructions back to
+  back. This is how pass-1 (RP) schedules are built.
+* :func:`list_schedule` — latency-aware, cycle by cycle: the ready list
+  contains instructions whose predecessors are scheduled *and* whose
+  operands have arrived; when the ready list is empty but instructions are
+  pending, the machine stalls. This is the pass-2 (ILP) construction and
+  also how heuristic baselines produce final schedules.
+
+Both are deterministic given the priority function; ties break toward the
+lower program-order index, matching the behaviour of LLVM's source-order
+tie-break.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..ddg.graph import DDG
+from ..errors import ScheduleError
+from ..machine.model import MachineModel
+from ..rp.tracker import PressureTracker
+from ..schedule.schedule import Schedule
+from .base import GuidingHeuristic, SchedulingState
+
+#: Signature of a priority function: (index, state) -> score, higher wins.
+PriorityFn = Callable[[int, SchedulingState], float]
+
+
+def _priority_from_heuristic(heuristic: GuidingHeuristic, ddg: DDG) -> PriorityFn:
+    prepared = heuristic.prepare(ddg)
+    return prepared.score
+
+
+def order_schedule(
+    ddg: DDG,
+    heuristic: Optional[GuidingHeuristic] = None,
+    priority: Optional[PriorityFn] = None,
+) -> Schedule:
+    """Latency-blind greedy scheduling (the shape of a pass-1 schedule)."""
+    if priority is None:
+        if heuristic is None:
+            raise ScheduleError("order_schedule needs a heuristic or a priority")
+        priority = _priority_from_heuristic(heuristic, ddg)
+    n = ddg.num_instructions
+    region = ddg.region
+    tracker = PressureTracker(region)
+    state = SchedulingState(ddg, tracker)
+    unscheduled_preds = list(ddg.num_predecessors)
+    ready: List[int] = list(ddg.roots)
+    order: List[int] = []
+    while ready:
+        best = max(ready, key=lambda i: (priority(i, state), -i))
+        ready.remove(best)
+        order.append(best)
+        tracker.schedule(region[best])
+        for succ, _lat in ddg.successors[best]:
+            unscheduled_preds[succ] -= 1
+            if unscheduled_preds[succ] == 0:
+                ready.append(succ)
+    if len(order) != n:
+        raise ScheduleError("DDG is not schedulable (cycle?)")
+    return Schedule.from_order(region, order)
+
+
+def schedule_in_order(ddg: DDG, order) -> Schedule:
+    """Stretch a fixed instruction order into a latency-legal schedule.
+
+    Issues the instructions of ``order`` one per cycle in exactly that
+    order, inserting the *necessary* stalls latency demands. This is how the
+    best pass-1 (RP) order becomes the initial schedule of pass 2
+    (Section IV-C: "Stalls are added to the best-RP schedule found in the
+    first pass to satisfy latency constraints").
+    """
+    cycles = [0] * ddg.num_instructions
+    current = -1
+    for index in order:
+        earliest = current + 1
+        for pred, latency in ddg.predecessors[index]:
+            earliest = max(earliest, cycles[pred] + latency)
+        cycles[index] = earliest
+        current = earliest
+    if sorted(order) != list(range(ddg.num_instructions)):
+        raise ScheduleError("order must be a permutation of the instructions")
+    return Schedule(ddg.region, cycles)
+
+
+def list_schedule(
+    ddg: DDG,
+    machine: MachineModel,
+    heuristic: Optional[GuidingHeuristic] = None,
+    priority: Optional[PriorityFn] = None,
+) -> Schedule:
+    """Latency-aware greedy list scheduling (cycle-accurate, with stalls)."""
+    if priority is None:
+        if heuristic is None:
+            raise ScheduleError("list_schedule needs a heuristic or a priority")
+        priority = _priority_from_heuristic(heuristic, ddg)
+
+    n = ddg.num_instructions
+    region = ddg.region
+    tracker = PressureTracker(region)
+    state = SchedulingState(ddg, tracker)
+    unscheduled_preds = list(ddg.num_predecessors)
+    cycles = [0] * n
+    #: earliest cycle each instruction may issue, given scheduled predecessors
+    earliest = [0] * n
+    ready: List[int] = list(ddg.roots)
+    #: (release_cycle, index) for dependence-satisfied but not-yet-ready insts
+    pending: List[Tuple[int, int]] = []
+    scheduled = 0
+    cycle = 0
+    while scheduled < n:
+        # Move newly released instructions into the ready list.
+        still_pending = []
+        for release, index in pending:
+            if release <= cycle:
+                ready.append(index)
+            else:
+                still_pending.append((release, index))
+        pending = still_pending
+        if not ready:
+            if not pending:
+                raise ScheduleError("DDG is not schedulable (cycle?)")
+            cycle = min(release for release, _ in pending)
+            continue
+        state.cycle = cycle
+        issued = 0
+        while ready and issued < machine.issue_width:
+            best = max(ready, key=lambda i: (priority(i, state), -i))
+            ready.remove(best)
+            cycles[best] = cycle
+            tracker.schedule(region[best])
+            scheduled += 1
+            issued += 1
+            for succ, latency in ddg.successors[best]:
+                release = cycle + latency
+                if release > earliest[succ]:
+                    earliest[succ] = release
+                unscheduled_preds[succ] -= 1
+                if unscheduled_preds[succ] == 0:
+                    # Latencies are >= 1, so a successor can never issue in
+                    # the current cycle; park it until its operands arrive.
+                    pending.append((earliest[succ], succ))
+        cycle += 1
+    return Schedule(region, cycles)

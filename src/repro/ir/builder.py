@@ -1,0 +1,110 @@
+"""A small DSL for constructing scheduling regions.
+
+Example — the 7-instruction DDG of the paper's Figure 1::
+
+    from repro.ir import RegionBuilder
+
+    b = RegionBuilder("fig1")
+    b.inst("op3", defs=["v1"], name="A")            # A: defines r1, latency 3
+    b.inst("op1", defs=["v2"], name="B")
+    ...
+    region = b.build()
+
+Register operands are written textually (``"v3"``, ``"s0"``) or passed as
+:class:`~repro.ir.registers.VirtualRegister` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..errors import IRError
+from .block import SchedulingRegion
+from .instructions import Instruction, Opcode, opcode
+from .registers import VirtualRegister
+
+RegLike = Union[str, VirtualRegister]
+
+
+def _as_register(reg: RegLike) -> VirtualRegister:
+    if isinstance(reg, VirtualRegister):
+        return reg
+    return VirtualRegister.parse(reg)
+
+
+class RegionBuilder:
+    """Accumulates instructions and produces a :class:`SchedulingRegion`."""
+
+    def __init__(self, name: str = "region"):
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._live_in: Optional[List[VirtualRegister]] = None
+        self._live_out: List[VirtualRegister] = []
+
+    def inst(
+        self,
+        op: Union[str, Opcode],
+        defs: Sequence[RegLike] = (),
+        uses: Sequence[RegLike] = (),
+        latency: int = -1,
+        name: str = "",
+    ) -> Instruction:
+        """Append an instruction and return it."""
+        if isinstance(op, str):
+            op = opcode(op)
+        instruction = Instruction(
+            index=len(self._instructions),
+            op=op,
+            defs=tuple(_as_register(r) for r in defs),
+            uses=tuple(_as_register(r) for r in uses),
+            latency=latency,
+            name=name,
+        )
+        self._instructions.append(instruction)
+        return instruction
+
+    def live_in(self, *regs: RegLike) -> "RegionBuilder":
+        """Declare boundary live-in registers (beyond the inferred ones)."""
+        if self._live_in is None:
+            self._live_in = []
+        self._live_in.extend(_as_register(r) for r in regs)
+        return self
+
+    def live_out(self, *regs: RegLike) -> "RegionBuilder":
+        """Declare registers live past the region's end."""
+        self._live_out.extend(_as_register(r) for r in regs)
+        return self
+
+    def build(self) -> SchedulingRegion:
+        if not self._instructions:
+            raise IRError("cannot build an empty region")
+        live_in: Optional[Iterable[VirtualRegister]] = self._live_in
+        if live_in is not None:
+            # Explicit live-ins extend, never replace, the inferred set.
+            inferred = SchedulingRegion(self._instructions, self.name).live_in
+            live_in = set(live_in) | set(inferred)
+        return SchedulingRegion(
+            self._instructions, self.name, live_in=live_in, live_out=self._live_out
+        )
+
+
+def figure1_region() -> SchedulingRegion:
+    """The running example of the paper (Figure 1).
+
+    Seven instructions A..G over virtual registers r1..r7 (modelled as
+    VGPRs v1..v7), with the latencies shown on the DDG edges:
+    A and B are loads feeding E (latency 3 and 1), C and D are loads feeding
+    F (latency 5 and 4), E and F feed G (latency 1 each).
+
+    Edge latencies in a DDG label the *producer*, so A has latency 3, B 1,
+    C 5, D 4, E 1, F 1, G 1.
+    """
+    b = RegionBuilder("figure1")
+    b.inst("op3", defs=["v1"], name="A")                       # A -> E, lat 3
+    b.inst("op1", defs=["v2"], name="B")                       # B -> E, lat 1
+    b.inst("op5", defs=["v3"], name="C")                       # C -> F, lat 5
+    b.inst("op1", defs=["v4"], latency=4, name="D")            # D -> F, lat 4
+    b.inst("op1", defs=["v5"], uses=["v1", "v2"], name="E")    # E -> G, lat 1
+    b.inst("op1", defs=["v6"], uses=["v3", "v4"], name="F")    # F -> G, lat 1
+    b.inst("op1", defs=["v7"], uses=["v5", "v6"], name="G")
+    return b.live_out("v7").build()

@@ -1,0 +1,110 @@
+"""Parser for the textual region format produced by
+:func:`repro.ir.printer.format_region`.
+
+Grammar (one construct per line; ``#`` starts a comment)::
+
+    region <name>
+    [live_in: reg {, reg}]
+    [live_out: reg {, reg}]
+    <label>: <opcode> [defs(reg{,reg})] [uses(reg{,reg})] [lat=N]
+    ...
+    end
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..errors import ParseError
+from .block import SchedulingRegion
+from .instructions import Instruction, opcode
+from .registers import VirtualRegister
+
+_INST_RE = re.compile(
+    r"^(?P<label>\w+):\s+(?P<op>\w+)"
+    r"(?:\s+defs\((?P<defs>[^)]*)\))?"
+    r"(?:\s+uses\((?P<uses>[^)]*)\))?"
+    r"(?:\s+lat=(?P<lat>\d+))?\s*$"
+)
+
+
+def _parse_reg_list(text: Optional[str], line_no: int) -> List[VirtualRegister]:
+    if not text or not text.strip():
+        return []
+    regs = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            regs.append(VirtualRegister.parse(chunk))
+        except Exception as exc:
+            raise ParseError(str(exc), line_no)
+    return regs
+
+
+def parse_region(text: str) -> SchedulingRegion:
+    """Parse one region from ``text``; raises :class:`ParseError` on bad input."""
+    name = None
+    live_in: List[VirtualRegister] = []
+    live_out: List[VirtualRegister] = []
+    instructions: List[Instruction] = []
+    saw_end = False
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if saw_end:
+            raise ParseError("content after 'end'", line_no)
+        if name is None:
+            if not line.startswith("region "):
+                raise ParseError("expected 'region <name>'", line_no)
+            name = line[len("region "):].strip()
+            if not name:
+                raise ParseError("region name is empty", line_no)
+            continue
+        if line == "end":
+            saw_end = True
+            continue
+        if line.startswith("live_in:"):
+            live_in.extend(_parse_reg_list(line[len("live_in:"):], line_no))
+            continue
+        if line.startswith("live_out:"):
+            live_out.extend(_parse_reg_list(line[len("live_out:"):], line_no))
+            continue
+        match = _INST_RE.match(line)
+        if not match:
+            raise ParseError("cannot parse instruction %r" % line, line_no)
+        try:
+            op = opcode(match.group("op"))
+        except Exception as exc:
+            raise ParseError(str(exc), line_no)
+        lat_text = match.group("lat")
+        label = match.group("label")
+        instructions.append(
+            Instruction(
+                index=len(instructions),
+                op=op,
+                defs=tuple(_parse_reg_list(match.group("defs"), line_no)),
+                uses=tuple(_parse_reg_list(match.group("uses"), line_no)),
+                latency=int(lat_text) if lat_text is not None else -1,
+                name="" if re.fullmatch(r"i\d+", label) else label,
+            )
+        )
+
+    if name is None:
+        raise ParseError("empty input: no 'region' header")
+    if not saw_end:
+        raise ParseError("missing 'end'")
+    if not instructions:
+        raise ParseError("region %r has no instructions" % name)
+
+    inferred = SchedulingRegion(instructions, name).live_in
+    return SchedulingRegion(
+        instructions,
+        name,
+        live_in=set(live_in) | set(inferred),
+        live_out=live_out,
+    )

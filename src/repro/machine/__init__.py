@@ -1,0 +1,15 @@
+"""Target machine models: issue model, occupancy tables and APRP.
+
+The experimental results of the paper use a single-issue machine model that
+captures latencies (Section II-A) plus the AMD GPU's occupancy rules: the
+peak register pressure of a kernel determines how many wavefronts can be
+resident per SIMD unit. :class:`~repro.machine.occupancy.OccupancyTable`
+encodes a register-file's pressure -> occupancy mapping and the derived
+*adjusted peak register pressure* (APRP) cost function.
+"""
+
+from .occupancy import OccupancyTable
+from .model import MachineModel
+from .targets import amd_vega20, simple_test_target
+
+__all__ = ["OccupancyTable", "MachineModel", "amd_vega20", "simple_test_target"]

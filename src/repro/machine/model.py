@@ -1,0 +1,68 @@
+"""The scheduler-facing machine model.
+
+Bundles the issue model (single-issue by default, matching the paper's
+evaluation) with one occupancy table per register class. Register classes
+without a table (none on the built-in targets) do not constrain occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..errors import MachineModelError
+from ..ir.registers import RegisterClass
+from .occupancy import OccupancyTable
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A scheduling target.
+
+    ``issue_width`` is the number of instructions issued per cycle; the
+    paper's experiments use 1, and all built-in targets follow suit, but the
+    schedulers honor larger widths.
+    """
+
+    name: str
+    occupancy_tables: Mapping[RegisterClass, OccupancyTable]
+    issue_width: int = 1
+    wavefront_size: int = 64
+
+    def __post_init__(self):
+        if self.issue_width < 1:
+            raise MachineModelError("issue_width must be >= 1")
+        if self.wavefront_size < 1:
+            raise MachineModelError("wavefront_size must be >= 1")
+        if not self.occupancy_tables:
+            raise MachineModelError("a machine model needs occupancy tables")
+        object.__setattr__(self, "occupancy_tables", dict(self.occupancy_tables))
+
+    @property
+    def max_occupancy(self) -> int:
+        return min(t.max_occupancy for t in self.occupancy_tables.values())
+
+    def table_for(self, cls: RegisterClass) -> OccupancyTable:
+        try:
+            return self.occupancy_tables[cls]
+        except KeyError:
+            raise MachineModelError(
+                "no occupancy table for register class %s on %s" % (cls, self.name)
+            ) from None
+
+    def occupancy_for_pressure(self, pressure: Mapping[RegisterClass, int]) -> int:
+        """Kernel occupancy: the minimum over all constrained register files."""
+        occ = self.max_occupancy
+        for cls, table in self.occupancy_tables.items():
+            occ = min(occ, table.occupancy(pressure.get(cls, 0)))
+        return occ
+
+    def aprp(self, pressure: Mapping[RegisterClass, int]) -> Dict[RegisterClass, int]:
+        """Adjusted PRP of each constrained class (Section II-A)."""
+        return {
+            cls: table.aprp(pressure.get(cls, 0))
+            for cls, table in self.occupancy_tables.items()
+        }
+
+    def classes(self) -> Tuple[RegisterClass, ...]:
+        return tuple(self.occupancy_tables)

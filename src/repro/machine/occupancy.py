@@ -1,0 +1,80 @@
+"""Occupancy tables and the APRP cost function (Section II-A).
+
+An :class:`OccupancyTable` maps a register file's peak register pressure
+(PRP) to the SIMD *occupancy* it permits — the number of wavefronts that can
+be resident on each SIMD unit. The mapping is a step function: many PRP
+values give the same occupancy. The *adjusted* PRP (APRP) of a PRP value
+``x`` is the **largest** PRP giving the same occupancy as ``x``; optimizing
+APRP instead of PRP stops the scheduler from chasing pressure reductions
+that cannot change occupancy. On the paper's AMD GPU, PRP in [1, 24] VGPRs
+maps to APRP 24 (occupancy 10) and PRP in [25, 28] maps to APRP 28
+(occupancy 9).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import MachineModelError
+
+
+class OccupancyTable:
+    """A pressure -> occupancy step function for one register class.
+
+    ``breakpoints`` is a sequence of ``(max_pressure, occupancy)`` pairs with
+    strictly increasing ``max_pressure`` and strictly decreasing positive
+    ``occupancy``: pressure up to ``breakpoints[0].max_pressure`` yields
+    ``breakpoints[0].occupancy``, and so on. Pressure beyond the last
+    breakpoint yields occupancy 0 (the kernel would not fit; pressure that
+    high forces spilling, which pre-allocation scheduling tries to avoid).
+    """
+
+    def __init__(self, breakpoints: Sequence[Tuple[int, int]]):
+        points = tuple((int(p), int(o)) for p, o in breakpoints)
+        if not points:
+            raise MachineModelError("occupancy table needs at least one breakpoint")
+        for (p1, o1), (p2, o2) in zip(points, points[1:]):
+            if p2 <= p1:
+                raise MachineModelError("breakpoint pressures must strictly increase")
+            if o2 >= o1:
+                raise MachineModelError("occupancy must strictly decrease")
+        if points[-1][1] <= 0:
+            raise MachineModelError("occupancies must be positive")
+        if points[0][0] < 1:
+            raise MachineModelError("first breakpoint pressure must be >= 1")
+        self.breakpoints = points
+
+    @property
+    def max_occupancy(self) -> int:
+        return self.breakpoints[0][1]
+
+    @property
+    def max_pressure(self) -> int:
+        """The largest pressure that still fits (occupancy >= 1)."""
+        return self.breakpoints[-1][0]
+
+    def occupancy(self, pressure: int) -> int:
+        """Occupancy permitted by ``pressure``; 0 when it does not fit."""
+        if pressure < 0:
+            raise MachineModelError("pressure must be >= 0")
+        for max_pressure, occ in self.breakpoints:
+            if pressure <= max_pressure:
+                return occ
+        return 0
+
+    def aprp(self, pressure: int) -> int:
+        """Adjusted PRP: the largest pressure with the same occupancy.
+
+        Pressure beyond the table is its own APRP (every extra register is
+        equally bad once occupancy has hit zero, but keeping the value
+        monotone preserves comparisons between two over-budget schedules).
+        """
+        if pressure < 0:
+            raise MachineModelError("pressure must be >= 0")
+        for max_pressure, _occ in self.breakpoints:
+            if pressure <= max_pressure:
+                return max_pressure
+        return pressure
+
+    def __repr__(self) -> str:
+        return "OccupancyTable(%r)" % (self.breakpoints,)

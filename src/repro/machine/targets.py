@@ -1,0 +1,61 @@
+"""Built-in scheduling targets.
+
+:func:`amd_vega20` models the AMD Radeon VII (gfx906 / Vega 20) used in the
+paper: 256 VGPRs per SIMD lane allocated in granules of 4 and 800 usable
+SGPRs per SIMD allocated in granules of 16, with a hardware cap of 10
+wavefronts per SIMD. The VGPR table reproduces the paper's example exactly:
+PRP <= 24 gives occupancy 10 and PRP in [25, 28] gives occupancy 9.
+
+:func:`simple_test_target` is a tiny target with small occupancy steps used
+throughout the test suite so unit tests can exercise occupancy boundaries
+with single-digit register counts.
+"""
+
+from __future__ import annotations
+
+from ..ir.registers import SGPR, VGPR
+from .model import MachineModel
+from .occupancy import OccupancyTable
+
+_MAX_WAVES = 10
+
+
+def _granular_table(total: int, granule: int, max_waves: int) -> OccupancyTable:
+    """Derive a pressure -> occupancy table from a register-file budget.
+
+    For each occupancy level ``w`` the largest allocatable pressure is
+    ``floor(total / w)`` rounded down to the allocation granule.
+    """
+    breakpoints = []
+    previous_pressure = 0
+    for waves in range(max_waves, 0, -1):
+        pressure = (total // waves) // granule * granule
+        if pressure <= previous_pressure:
+            continue
+        breakpoints.append((pressure, waves))
+        previous_pressure = pressure
+    return OccupancyTable(breakpoints)
+
+
+def amd_vega20() -> MachineModel:
+    """The Radeon VII (gfx906) model used for all headline experiments."""
+    vgpr_table = _granular_table(total=256, granule=4, max_waves=_MAX_WAVES)
+    sgpr_table = _granular_table(total=800, granule=16, max_waves=_MAX_WAVES)
+    return MachineModel(
+        name="amd-vega20",
+        occupancy_tables={VGPR: vgpr_table, SGPR: sgpr_table},
+        issue_width=1,
+        wavefront_size=64,
+    )
+
+
+def simple_test_target() -> MachineModel:
+    """A miniature target: VGPR steps at 3/4/6/8, SGPR steps at 6/8/12/16."""
+    vgpr_table = OccupancyTable([(3, 4), (4, 3), (6, 2), (8, 1)])
+    sgpr_table = OccupancyTable([(6, 4), (8, 3), (12, 2), (16, 1)])
+    return MachineModel(
+        name="simple-test",
+        occupancy_tables={VGPR: vgpr_table, SGPR: sgpr_table},
+        issue_width=1,
+        wavefront_size=4,
+    )

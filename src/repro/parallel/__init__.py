@@ -1,0 +1,36 @@
+"""The GPU-parallel ACO scheduler (Sections IV-B and V).
+
+One ant per GPU thread, 64-thread single-wavefront blocks, lane-vectorized
+lockstep execution on the simulated device of :mod:`repro.gpusim`:
+
+* :mod:`~repro.parallel.layouts` — the region's "device image": padded
+  structure-of-arrays buffers sized with the transitive-closure ready-list
+  bound (the Section V-A memory optimizations, togglable for Table 4.a);
+* :mod:`~repro.parallel.divergence` — the Section V-B divergence policy
+  (wavefront-level explore/exploit, stall-wavefront fraction, early
+  wavefront termination, heuristic diversity), togglable for Table 4.b;
+* :mod:`~repro.parallel.colony` — the vectorized ant colony: every lane of
+  every wavefront constructs a schedule in lockstep while the kernel
+  accounting charges cycles under the device's divergence/coalescing rules;
+* :mod:`~repro.parallel.scheduler` — the two-pass driver mirroring
+  :class:`~repro.aco.sequential.SequentialACOScheduler`.
+"""
+
+from .layouts import RegionDeviceData
+from .divergence import DivergencePolicy
+from .colony import Colony, ColonyIterationResult
+from .scheduler import ParallelACOScheduler, ParallelACOResult, ParallelPassResult
+from .multi_region import BatchItem, BatchResult, MultiRegionScheduler
+
+__all__ = [
+    "RegionDeviceData",
+    "DivergencePolicy",
+    "Colony",
+    "ColonyIterationResult",
+    "ParallelACOScheduler",
+    "ParallelACOResult",
+    "ParallelPassResult",
+    "BatchItem",
+    "BatchResult",
+    "MultiRegionScheduler",
+]

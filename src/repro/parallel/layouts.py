@@ -1,0 +1,176 @@
+"""The region's device image: padded structure-of-arrays buffers.
+
+Section V-A: the parallel scheduler allocates nothing on the device.
+Everything an ant needs — operand tables, successor lists, critical-path
+heights, occupancy lookup tables — is packed into fixed-size arrays on the
+host and copied over once, and per-ant dynamic state (ready lists, pressure
+counters) lives in preallocated 2-D arrays whose widths are *upper bounds*:
+the ready/available list is sized by the transitive-closure bound
+(:meth:`repro.ddg.closure.TransitiveClosure.ready_list_upper_bound`) when
+the ``tight_ready_list_bound`` optimization is on, or by the trivial bound
+``n`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..ddg.closure import TransitiveClosure
+from ..ddg.analysis import critical_path_info
+from ..ddg.graph import DDG
+from ..ir.registers import RegisterClass, VirtualRegister
+from ..machine.model import MachineModel
+
+
+def _pad_lists(lists, pad_value=-1, dtype=np.int32, min_width=1):
+    width = max(min_width, max((len(l) for l in lists), default=0))
+    out = np.full((len(lists), width), pad_value, dtype=dtype)
+    for row, items in enumerate(lists):
+        for col, value in enumerate(items):
+            out[row, col] = value
+    return out
+
+
+class RegionDeviceData:
+    """Read-only per-region arrays shared by all ants (the device image)."""
+
+    def __init__(self, ddg: DDG, machine: MachineModel, tight_ready_bound: bool = True):
+        self.ddg = ddg
+        self.machine = machine
+        region = ddg.region
+        n = ddg.num_instructions
+        self.num_instructions = n
+
+        # Dense register universe.
+        registers: Tuple[VirtualRegister, ...] = tuple(sorted(region.all_registers))
+        self.registers = registers
+        self.reg_index: Dict[VirtualRegister, int] = {
+            reg: i for i, reg in enumerate(registers)
+        }
+        self.num_registers = len(registers)
+
+        classes = machine.classes()
+        self.classes: Tuple[RegisterClass, ...] = classes
+        self.num_classes = len(classes)
+        class_index = {cls: i for i, cls in enumerate(classes)}
+        # Registers of classes the machine does not constrain get class -1
+        # and are ignored by the pressure counters.
+        self.reg_class = np.array(
+            [class_index.get(reg.reg_class, -1) for reg in registers], dtype=np.int32
+        )
+
+        # Operand tables (padded; -1 terminates).
+        self.uses = _pad_lists(
+            [[self.reg_index[r] for r in inst.uses] for inst in region]
+        )
+        self.defs = _pad_lists(
+            [[self.reg_index[r] for r in inst.defs] for inst in region]
+        )
+
+        # uses_redefined[i, s]: operand slot s of instruction i names a
+        # register i itself redefines (kill-before-def must not free it).
+        self.uses_redefined = np.zeros_like(self.uses, dtype=bool)
+        for inst in region:
+            def_ids = {self.reg_index[r] for r in inst.defs}
+            for slot, reg in enumerate(inst.uses):
+                if self.reg_index[reg] in def_ids:
+                    self.uses_redefined[inst.index, slot] = True
+
+        # Static per-class def counts (the stall heuristic's "opens" preview).
+        self.defs_per_class = np.zeros((n, self.num_classes), dtype=np.int32)
+        for inst in region:
+            for reg in inst.defs:
+                ci = class_index.get(reg.reg_class, -1)
+                if ci >= 0:
+                    self.defs_per_class[inst.index, ci] += 1
+
+        # Dependence structure.
+        self.succ_ids = _pad_lists([[s for s, _l in ddg.successors[i]] for i in range(n)])
+        self.succ_lat = _pad_lists(
+            [[l for _s, l in ddg.successors[i]] for i in range(n)], pad_value=0
+        )
+        self.pred_count = np.array(ddg.num_predecessors, dtype=np.int32)
+        self.succ_count = np.array([len(ddg.successors[i]) for i in range(n)], dtype=np.int32)
+        self.roots = np.array(ddg.roots, dtype=np.int32)
+
+        # Guiding-heuristic inputs.
+        cp = critical_path_info(ddg)
+        self.heights = np.array(cp.height, dtype=np.float64)
+        self.score_scale = float(max(cp.height) + 1)
+        self.num_uses = np.count_nonzero(self.uses >= 0, axis=1).astype(np.float64)
+        self.num_defs = np.count_nonzero(self.defs >= 0, axis=1).astype(np.float64)
+
+        # Liveness inputs.
+        self.total_use_counts = np.zeros(self.num_registers, dtype=np.int32)
+        for inst in region:
+            for reg in inst.uses:
+                self.total_use_counts[self.reg_index[reg]] += 1
+        self.live_out_mask = np.zeros(self.num_registers, dtype=bool)
+        for reg in region.live_out:
+            self.live_out_mask[self.reg_index[reg]] = True
+        self.live_in_ids = np.array(
+            sorted(self.reg_index[reg] for reg in region.live_in), dtype=np.int32
+        )
+
+        # Occupancy / APRP lookup tables, one row per class; index = pressure
+        # clamped to the table width (beyond-table pressure -> occupancy 0).
+        max_p = max(machine.table_for(cls).max_pressure for cls in classes)
+        self.lut_width = max_p + 2
+        self.occ_lut = np.zeros((self.num_classes, self.lut_width), dtype=np.int32)
+        self.aprp_lut = np.zeros((self.num_classes, self.lut_width), dtype=np.int32)
+        for ci, cls in enumerate(classes):
+            table = machine.table_for(cls)
+            for p in range(self.lut_width):
+                self.occ_lut[ci, p] = table.occupancy(p)
+                self.aprp_lut[ci, p] = table.aprp(p)
+        self.max_occupancy = machine.max_occupancy
+
+        # The available-list bound of Section V-A. Available = ready and
+        # semi-ready instructions, which are pairwise independent, so the
+        # transitive-closure bound applies to the combined list.
+        closure = TransitiveClosure(ddg)
+        self.tight_ready_bound = tight_ready_bound
+        tight = closure.ready_list_upper_bound()
+        self.ready_capacity = min(n, tight) if tight_ready_bound else n
+
+    # -- transfer accounting ------------------------------------------------
+
+    def device_arrays(self):
+        """The arrays copied host->device (for transfer accounting)."""
+        return (
+            self.reg_class,
+            self.uses,
+            self.defs,
+            self.succ_ids,
+            self.succ_lat,
+            self.pred_count,
+            self.succ_count,
+            self.roots,
+            self.heights,
+            self.num_uses,
+            self.num_defs,
+            self.total_use_counts,
+            self.live_out_mask,
+            self.live_in_ids,
+            self.occ_lut,
+            self.aprp_lut,
+        )
+
+    def per_ant_state_bytes(self, num_ants: int) -> int:
+        """Preallocated per-ant state copied/zeroed on the device.
+
+        Dominated by the available-list arrays of width ``ready_capacity``
+        (this is where the tight bound pays off) plus the order/cycle
+        buffers and the register bitmaps.
+        """
+        cap = self.ready_capacity
+        per_ant = (
+            cap * 4 * 2  # available ids + release cycles
+            + self.num_instructions * 4 * 3  # order, cycles, pred counters
+            + self.num_registers * (4 + 1)  # remaining uses + live flags
+            + self.num_classes * 4 * 2  # current + peak pressure
+            + 64  # scalars
+        )
+        return per_ant * num_ants

@@ -1,0 +1,180 @@
+"""Multi-region batch scheduling — the paper's stated future work.
+
+Section VII: *"we will work on maximizing the utilization of the GPU by
+scheduling multiple regions in parallel."* With one region per launch, a
+small region leaves most of the device idle and still pays the full kernel
+launch and transfer overheads; those fixed costs are exactly what limits
+the speedup on the [1-49] size class (Table 3).
+
+:class:`MultiRegionScheduler` batches several regions into one cooperative
+launch:
+
+* the launch overhead is paid **once** per batch;
+* every region's device image travels in **one** batched transfer;
+* the batch's wavefronts are partitioned across regions (at least one
+  block each, more for bigger regions), and regions run concurrently on
+  the device — the batch's kernel time is the *maximum* of its regions'
+  kernel times per capacity wave, not their sum.
+
+The trade-off is ants-per-region: a region in a batch of eight gets an
+eighth of the colony, which can cost schedule quality on hard regions. The
+``benchmarks/bench_multi_region.py`` harness measures both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import ACOParams, GPUParams, replace_params
+from ..ddg.graph import DDG
+from ..errors import GPUSimError
+from ..gpusim.device import GPUDevice
+from ..machine.model import MachineModel
+from ..schedule.schedule import Schedule
+from .scheduler import ParallelACOResult, ParallelACOScheduler
+
+
+@dataclass
+class BatchItem:
+    """One region's scheduling request within a batch."""
+
+    ddg: DDG
+    seed: int = 0
+    initial_order: Optional[Tuple[int, ...]] = None
+    reference_schedule: Optional[Schedule] = None
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batched launch."""
+
+    results: Tuple[ParallelACOResult, ...]
+    #: Wavefronts assigned to each region.
+    blocks_per_region: Tuple[int, ...]
+    #: Modelled GPU seconds for the whole batch (shared launch + transfer +
+    #: concurrent kernels).
+    seconds: float
+    #: What the same regions would cost as individual launches (the paper's
+    #: current design) — the amortization baseline.
+    unbatched_seconds: float
+
+    @property
+    def amortization_speedup(self) -> float:
+        return self.unbatched_seconds / self.seconds if self.seconds > 0 else 1.0
+
+
+class MultiRegionScheduler:
+    """Schedules batches of regions in single launches."""
+
+    name = "parallel-aco-multi-region"
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        params: Optional[ACOParams] = None,
+        gpu_params: Optional[GPUParams] = None,
+        device: Optional[GPUDevice] = None,
+    ):
+        self.machine = machine
+        self.params = params or ACOParams()
+        self.device = device or GPUDevice()
+        self.gpu_params = gpu_params or GPUParams()
+        self.gpu_params.validate(self.device.wavefront_size)
+
+    def _partition_blocks(self, items: Sequence[BatchItem]) -> List[int]:
+        """Proportional-to-size split of the launch's blocks, >= 1 each."""
+        total_blocks = self.gpu_params.blocks
+        if len(items) > total_blocks:
+            raise GPUSimError(
+                "batch of %d regions needs at least %d blocks (have %d)"
+                % (len(items), len(items), total_blocks)
+            )
+        sizes = [item.ddg.num_instructions for item in items]
+        total_size = sum(sizes)
+        blocks = [max(1, (total_blocks * size) // total_size) for size in sizes]
+        # Distribute the remainder to the largest regions first.
+        order = sorted(range(len(items)), key=lambda i: -sizes[i])
+        index = 0
+        while sum(blocks) < total_blocks:
+            blocks[order[index % len(order)]] += 1
+            index += 1
+        while sum(blocks) > total_blocks:
+            candidates = [i for i in order if blocks[i] > 1]
+            if not candidates:
+                break
+            blocks[candidates[-1]] -= 1
+        return blocks
+
+    def _region_result(self, item: BatchItem, blocks: int) -> ParallelACOResult:
+        gpu = replace_params(self.gpu_params, blocks=blocks)
+        scheduler = ParallelACOScheduler(
+            self.machine, params=self.params, gpu_params=gpu, device=self.device
+        )
+        return scheduler.schedule(
+            item.ddg,
+            seed=item.seed,
+            initial_order=item.initial_order,
+            reference_schedule=item.reference_schedule,
+        )
+
+    @staticmethod
+    def _kernel_and_transfer(result: ParallelACOResult) -> Tuple[float, float, int]:
+        """(kernel seconds, transfer bytes-time, invoked passes) of a result."""
+        kernel = 0.0
+        transfer = 0.0
+        passes = 0
+        for p in (result.pass1, result.pass2):
+            if p.invoked:
+                kernel += p.kernel_seconds
+                transfer += p.transfer_seconds
+                passes += 1
+        return kernel, transfer, passes
+
+    def schedule_batch(self, items: Sequence[BatchItem]) -> BatchResult:
+        """Schedule all ``items`` as one batched launch (per invoked pass)."""
+        if not items:
+            raise GPUSimError("empty batch")
+        blocks = self._partition_blocks(items)
+        results = [
+            self._region_result(item, b) for item, b in zip(items, blocks)
+        ]
+
+        cost = self.device.cost
+        launch = cost.launch_overhead
+        # Batched transfer: one call for all images; byte time adds up. The
+        # per-region transfer model already used one call + bytes, so strip
+        # the per-call component down to a single shared call.
+        total_kernel = 0.0
+        max_kernel = 0.0
+        total_transfer = 0.0
+        unbatched = 0.0
+        any_invoked = 0
+        for result in results:
+            kernel, transfer, passes = self._kernel_and_transfer(result)
+            total_kernel += kernel
+            max_kernel = max(max_kernel, kernel)
+            total_transfer += max(0.0, transfer - 2 * cost.per_copy_call * passes)
+            unbatched += result.seconds
+            any_invoked += passes
+
+        if any_invoked == 0:
+            return BatchResult(tuple(results), tuple(blocks), 0.0, 0.0)
+
+        # Regions run concurrently: with the block partition summing to the
+        # configured launch size, every wavefront is resident at once (up to
+        # device capacity), so the batch kernel time is the slowest region's
+        # kernel time, scaled by how many capacity waves the launch needs.
+        waves = self.device.batches(self.gpu_params.blocks)
+        batch_seconds = (
+            2 * launch  # one launch per pass (RP pass + ILP pass)
+            + 2 * cost.per_copy_call
+            + total_transfer
+            + waves * max_kernel
+        )
+        return BatchResult(
+            results=tuple(results),
+            blocks_per_region=tuple(blocks),
+            seconds=batch_seconds,
+            unbatched_seconds=unbatched,
+        )

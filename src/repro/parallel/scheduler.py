@@ -1,0 +1,304 @@
+"""The two-pass GPU-parallel ACO scheduler (Section IV-B).
+
+Mirrors :class:`~repro.aco.sequential.SequentialACOScheduler` — same lower
+bounds, same termination conditions, same pheromone rules — but each
+iteration constructs ``blocks * 64`` schedules at once with the vectorized
+colony, and scheduling time comes from the simulated device: one kernel
+launch per invoked pass (the paper launches a single cooperative kernel
+whose main loop runs all iterations on-device), one host->device transfer
+of the region image and the preallocated per-ant state, per-iteration
+reduction and pheromone-update costs, and the per-step lockstep cycle
+charges accumulated by the colony.
+
+Memory-optimization toggles map onto the simulation as follows
+(Section V-A): with ``soa_layout`` off, the naive baseline is simulated —
+array-of-structures state (uncoalesced transactions) with linked lists kept
+through device-side dynamic allocation; with ``tight_ready_list_bound`` off
+the per-ant buffers are sized by the trivial bound ``n``; with
+``batched_transfers`` off every device array is copied with its own call.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..aco.pheromone import PheromoneTable
+from ..aco.sequential import PassResult
+from ..aco.termination import TerminationTracker
+from ..config import ACOParams, GPUParams
+from ..ddg.graph import DDG
+from ..ddg.lower_bounds import RegionBounds, region_bounds
+from ..gpusim.device import GPUDevice
+from ..gpusim.kernel import KernelAccounting, TransferAccounting
+from ..gpusim.reduction import reduction_cycles
+from ..heuristics.list_scheduler import schedule_in_order
+from ..ir.registers import RegisterClass
+from ..machine.model import MachineModel
+from ..rp.cost import rp_cost, rp_cost_lower_bound
+from ..rp.liveness import peak_pressure
+from ..schedule.schedule import Schedule
+from .colony import Colony
+from .divergence import DivergencePolicy
+from .layouts import RegionDeviceData
+
+
+@dataclass
+class ParallelPassResult(PassResult):
+    """Pass outcome plus the GPU time breakdown."""
+
+    transfer_seconds: float = 0.0
+    kernel_seconds: float = 0.0
+    launch_seconds: float = 0.0
+
+
+@dataclass
+class ParallelACOResult:
+    """Final outcome of GPU-parallel two-pass scheduling on one region."""
+
+    schedule: Schedule
+    peak: Dict[RegisterClass, int]
+    rp_cost_value: int
+    pass1: ParallelPassResult
+    pass2: ParallelPassResult
+
+    @property
+    def seconds(self) -> float:
+        return self.pass1.seconds + self.pass2.seconds
+
+    @property
+    def length(self) -> int:
+        return self.schedule.length
+
+
+class ParallelACOScheduler:
+    """Two-pass ACO scheduling on the simulated GPU."""
+
+    name = "parallel-aco"
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        params: Optional[ACOParams] = None,
+        gpu_params: Optional[GPUParams] = None,
+        device: Optional[GPUDevice] = None,
+    ):
+        self.machine = machine
+        self.params = params or ACOParams()
+        self.params.validate()
+        self.device = device or GPUDevice()
+        self.gpu_params = gpu_params or GPUParams()
+        self.gpu_params.validate(self.device.wavefront_size)
+
+    # -- shared plumbing -----------------------------------------------------
+
+    def _transfer(self, data: RegionDeviceData, num_ants: int) -> TransferAccounting:
+        """Host->device copy of the region image.
+
+        The per-ant state is *not* copied: the kernel's threads initialize
+        their own preallocated buffers on the device (Section V-A allocates
+        on the host but a single contiguous block, and re-initialization
+        between iterations happens in the kernel) — its cost is charged as
+        cycles in :meth:`_iteration_overhead_cycles`.
+        """
+        transfer = TransferAccounting(self.device, self.gpu_params.batched_transfers)
+        for array in data.device_arrays():
+            transfer.add_ndarray(np.asarray(array))
+        return transfer
+
+    def _iteration_overhead_cycles(self, data: RegionDeviceData, num_ants: int) -> float:
+        """Per-iteration costs outside construction: per-ant state reset,
+        the winner reduction, the pheromone decay/deposit and the barriers."""
+        cost = self.device.cost
+        n = data.num_instructions
+        entries = (n + 1) * n
+        per_thread_rows = math.ceil(entries / num_ants)
+        pheromone = per_thread_rows * (2 * cost.cycles_per_op + cost.cycles_per_transaction / 8.0)
+        barriers = 3 * cost.cycles_per_transaction
+        # Lane-local state reset: one coalesced store per word row.
+        init_words = 2 * data.ready_capacity + 2 * n + 2 * data.num_registers + 8
+        init = init_words * (cost.cycles_per_transaction / 4.0)
+        return reduction_cycles(num_ants, cost) + pheromone + barriers + init
+
+    def _make_colony(
+        self, data: RegionDeviceData, seed: int
+    ) -> Tuple[Colony, KernelAccounting]:
+        policy = DivergencePolicy.from_params(self.gpu_params)
+        accounting = KernelAccounting(
+            self.device,
+            policy.num_wavefronts,
+            coalesced=self.gpu_params.soa_layout,
+            dynamic_alloc=not self.gpu_params.soa_layout,
+        )
+        rng = np.random.default_rng(seed)
+        colony = Colony(data, self.params, policy, accounting, rng)
+        return colony, accounting
+
+    # -- pass 1 ----------------------------------------------------------------
+
+    def _run_rp_pass(
+        self,
+        ddg: DDG,
+        data: RegionDeviceData,
+        bounds: RegionBounds,
+        initial_order: Tuple[int, ...],
+        seed: int,
+    ) -> Tuple[Tuple[int, ...], Dict[RegisterClass, int], ParallelPassResult]:
+        region = ddg.region
+        lb_cost = rp_cost_lower_bound(bounds, self.machine)
+        initial_schedule = Schedule.from_order(region, initial_order)
+        best_peak = peak_pressure(initial_schedule)
+        best_cost = rp_cost(best_peak, self.machine)
+        best_order = tuple(initial_order)
+        if best_cost <= lb_cost:
+            result = ParallelPassResult(False, 0, best_cost, best_cost, True, 0.0)
+            return best_order, best_peak, result
+
+        colony, accounting = self._make_colony(data, seed)
+        transfer = self._transfer(data, colony.num_ants)
+        pheromone = PheromoneTable(ddg.num_instructions, self.params)
+        tracker = TerminationTracker(
+            lower_bound=lb_cost,
+            stagnation_limit=self.params.termination_condition(len(region)),
+            best_cost=best_cost,
+        )
+        trace = []
+        while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
+            result = colony.run_rp_iteration(pheromone.tau)
+            accounting.charge_uniform_cycles(
+                self._iteration_overhead_cycles(data, colony.num_ants)
+            )
+            pheromone.decay()
+            assert result.winner_order is not None
+            trace.append(float(result.winner_cost))
+            pheromone.deposit(result.winner_order, result.winner_cost - lb_cost)
+            if tracker.record_iteration(result.winner_cost):
+                best_order = result.winner_order
+                best_peak = result.winner_peak
+        kernel_seconds = accounting.kernel_seconds()
+        transfer_seconds = transfer.seconds()
+        launch_seconds = self.device.cost.launch_overhead
+        pass_result = ParallelPassResult(
+            invoked=True,
+            iterations=tracker.iterations,
+            initial_cost=best_cost,
+            final_cost=tracker.best_cost,
+            hit_lower_bound=tracker.hit_lower_bound,
+            seconds=kernel_seconds + transfer_seconds + launch_seconds,
+            transfer_seconds=transfer_seconds,
+            kernel_seconds=kernel_seconds,
+            launch_seconds=launch_seconds,
+            trace=tuple(trace),
+        )
+        return best_order, best_peak, pass_result
+
+    # -- pass 2 ----------------------------------------------------------------
+
+    def _run_ilp_pass(
+        self,
+        ddg: DDG,
+        data: RegionDeviceData,
+        bounds: RegionBounds,
+        best_order: Tuple[int, ...],
+        best_peak: Dict[RegisterClass, int],
+        seed: int,
+        reference_schedule: Optional[Schedule] = None,
+    ) -> Tuple[Schedule, ParallelPassResult]:
+        region = ddg.region
+        length_lb = bounds.length
+        target = self.machine.aprp(best_peak)
+        initial_schedule = schedule_in_order(ddg, best_order)
+        # Prefer the heuristic's latency-aware schedule as the starting
+        # point when it satisfies the pressure target and is shorter.
+        if reference_schedule is not None and reference_schedule.length < initial_schedule.length:
+            ref_peak = peak_pressure(reference_schedule)
+            if all(ref_peak.get(cls, 0) <= limit for cls, limit in target.items()):
+                initial_schedule = reference_schedule
+        best_schedule = initial_schedule
+        best_length = initial_schedule.length
+        if best_length <= length_lb:
+            result = ParallelPassResult(False, 0, best_length, best_length, True, 0.0)
+            return best_schedule, result
+
+        colony, accounting = self._make_colony(data, seed + 1)
+        transfer = self._transfer(data, colony.num_ants)
+        pheromone = PheromoneTable(ddg.num_instructions, self.params)
+        tracker = TerminationTracker(
+            lower_bound=length_lb,
+            stagnation_limit=self.params.termination_condition(len(region)),
+            best_cost=best_length,
+        )
+        max_length = max(2 * best_length, best_length + 16)
+        trace = []
+        while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
+            result = colony.run_ilp_iteration(pheromone.tau, target, max_length)
+            accounting.charge_uniform_cycles(
+                self._iteration_overhead_cycles(data, colony.num_ants)
+            )
+            pheromone.decay()
+            if result.winner_order is None:
+                trace.append(float("inf"))
+                tracker.record_iteration(tracker.best_cost)
+                continue
+            trace.append(float(result.winner_cost))
+            pheromone.deposit(result.winner_order, result.winner_cost - length_lb)
+            if tracker.record_iteration(result.winner_cost):
+                assert result.winner_cycles is not None
+                best_schedule = Schedule(region, result.winner_cycles)
+                best_length = int(result.winner_cost)
+        kernel_seconds = accounting.kernel_seconds()
+        transfer_seconds = transfer.seconds()
+        launch_seconds = self.device.cost.launch_overhead
+        pass_result = ParallelPassResult(
+            invoked=True,
+            iterations=tracker.iterations,
+            initial_cost=initial_schedule.length,
+            final_cost=best_length,
+            hit_lower_bound=tracker.hit_lower_bound,
+            seconds=kernel_seconds + transfer_seconds + launch_seconds,
+            transfer_seconds=transfer_seconds,
+            kernel_seconds=kernel_seconds,
+            launch_seconds=launch_seconds,
+            trace=tuple(trace),
+        )
+        return best_schedule, pass_result
+
+    # -- public entry point ---------------------------------------------------------
+
+    def schedule(
+        self,
+        ddg: DDG,
+        seed: int = 0,
+        initial_order: Optional[Tuple[int, ...]] = None,
+        bounds: Optional[RegionBounds] = None,
+        reference_schedule: Optional[Schedule] = None,
+    ) -> ParallelACOResult:
+        """Run both passes on one region, on the simulated GPU."""
+        if bounds is None:
+            bounds = region_bounds(ddg)
+        if initial_order is None:
+            from ..heuristics.list_scheduler import order_schedule
+            from ..heuristics.luc import LastUseCountHeuristic
+
+            initial_order = order_schedule(ddg, heuristic=LastUseCountHeuristic()).order
+
+        data = RegionDeviceData(
+            ddg, self.machine, tight_ready_bound=self.gpu_params.tight_ready_list_bound
+        )
+        best_order, best_peak, pass1 = self._run_rp_pass(
+            ddg, data, bounds, tuple(initial_order), seed
+        )
+        schedule, pass2 = self._run_ilp_pass(
+            ddg, data, bounds, best_order, best_peak, seed, reference_schedule
+        )
+        final_peak = peak_pressure(schedule)
+        return ParallelACOResult(
+            schedule=schedule,
+            peak=final_peak,
+            rp_cost_value=rp_cost(final_peak, self.machine),
+            pass1=pass1,
+            pass2=pass2,
+        )

@@ -1,0 +1,5 @@
+"""Benchmark execution-time modelling (Figures 4, Table 7 inputs)."""
+
+from .exec_model import ExecutionModel, BenchmarkResult, benchmark_results, sensitive_benchmarks
+
+__all__ = ["ExecutionModel", "BenchmarkResult", "benchmark_results", "sensitive_benchmarks"]

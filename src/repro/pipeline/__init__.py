@@ -1,0 +1,28 @@
+"""The compile pipeline: heuristic-first scheduling with selective ACO.
+
+Reproduces the flow of Section VI: every region is scheduled by the AMD
+baseline first; ACO is invoked only when the heuristic provably left
+something on the table (cost above the lower bound, and — for the ILP
+pass — a length gap above the cycle threshold of Section VI-D); a
+post-scheduling filter reverts to the heuristic schedule when ACO traded
+too much schedule length for too little occupancy. Compile-time accounting
+feeds Table 5.
+"""
+
+from .filters import InvocationFilter, PostSchedulingFilter, FilterDecision
+from .compiler import CompilePipeline, RegionOutcome, KernelOutcome, CompileRun
+from .stats import suite_statistics, improvement_statistics, SuiteStatistics, ImprovementStatistics
+
+__all__ = [
+    "InvocationFilter",
+    "PostSchedulingFilter",
+    "FilterDecision",
+    "CompilePipeline",
+    "RegionOutcome",
+    "KernelOutcome",
+    "CompileRun",
+    "suite_statistics",
+    "improvement_statistics",
+    "SuiteStatistics",
+    "ImprovementStatistics",
+]

@@ -1,0 +1,16 @@
+"""Register-pressure analysis: liveness profiles, the incremental tracker
+used inside every scheduler, and the PRP/APRP cost functions."""
+
+from .liveness import pressure_profile, peak_pressure
+from .tracker import PressureTracker
+from .cost import rp_cost, rp_cost_lower_bound, ScheduleQuality, evaluate_schedule
+
+__all__ = [
+    "pressure_profile",
+    "peak_pressure",
+    "PressureTracker",
+    "rp_cost",
+    "rp_cost_lower_bound",
+    "ScheduleQuality",
+    "evaluate_schedule",
+]

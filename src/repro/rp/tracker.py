@@ -1,0 +1,155 @@
+"""Incremental register-pressure tracking.
+
+Every scheduler in this library (the greedy baselines, the sequential ACO
+ants and the vectorized parallel colony) builds schedules one instruction at
+a time and needs the running register pressure in O(defs + uses) per step.
+:class:`PressureTracker` provides exactly that.
+
+Liveness convention (matches Section II-A and the Figure 1 walk-through):
+
+* a register becomes live when its defining instruction issues (live-in
+  registers are live from the start);
+* it dies at its last use, unless it is live-out (then it never dies inside
+  the region);
+* last-uses close **before** the same instruction's defs open: pressure is
+  sampled *between* instructions, so an instruction whose destination can
+  reuse one of its killed sources does not transiently need both registers.
+  This matches the paper's Figure 1 (the schedule C, D, F, ... has PRP 3:
+  F's definition opens only after C's and D's ranges close) and LLVM's
+  kill-before-def convention;
+* a definition with no uses and not live-out still occupies a register at
+  its defining instruction, so it counts toward the peak at that point and
+  dies immediately.
+
+Regions are expected to be SSA-like (each virtual register defined by one
+instruction); for regions with redefinitions the tracker treats all uses of
+a register name as one live range, which over-approximates pressure — the
+same conservative choice LLVM's pre-RA scheduler makes for un-renamed
+registers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..ir.block import SchedulingRegion
+from ..ir.instructions import Instruction
+from ..ir.registers import RegisterClass, VirtualRegister
+
+
+class PressureTracker:
+    """Running per-class register pressure over a partial schedule."""
+
+    __slots__ = (
+        "region",
+        "classes",
+        "_remaining_uses",
+        "_live",
+        "current",
+        "peak",
+        "_total_use_counts",
+    )
+
+    def __init__(self, region: SchedulingRegion):
+        self.region = region
+        self.classes: Tuple[RegisterClass, ...] = region.register_classes()
+        self._total_use_counts: Dict[VirtualRegister, int] = {}
+        for inst in region:
+            for reg in inst.uses:
+                self._total_use_counts[reg] = self._total_use_counts.get(reg, 0) + 1
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart tracking from the empty schedule."""
+        self._remaining_uses = dict(self._total_use_counts)
+        self._live: Dict[VirtualRegister, bool] = {}
+        self.current: Dict[RegisterClass, int] = {cls: 0 for cls in self.classes}
+        self.peak: Dict[RegisterClass, int] = {cls: 0 for cls in self.classes}
+        for reg in self.region.live_in:
+            self._make_live(reg)
+        self._update_peak()
+
+    # -- internals -----------------------------------------------------------
+
+    def _make_live(self, reg: VirtualRegister) -> None:
+        if not self._live.get(reg, False):
+            self._live[reg] = True
+            self.current[reg.reg_class] = self.current.get(reg.reg_class, 0) + 1
+
+    def _kill(self, reg: VirtualRegister) -> None:
+        if self._live.get(reg, False):
+            self._live[reg] = False
+            self.current[reg.reg_class] -= 1
+
+    def _update_peak(self) -> None:
+        for cls, value in self.current.items():
+            if value > self.peak.get(cls, 0):
+                self.peak[cls] = value
+
+    # -- the scheduling step ---------------------------------------------------
+
+    def schedule(self, inst: Instruction) -> None:
+        """Account for issuing ``inst`` (exhausted uses close, then defs open)."""
+        for reg in inst.uses:
+            remaining = self._remaining_uses.get(reg, 0) - 1
+            self._remaining_uses[reg] = remaining
+            if remaining == 0 and reg not in self.region.live_out and reg not in inst.defs:
+                self._kill(reg)
+        dead_defs = []
+        for reg in inst.defs:
+            self._make_live(reg)
+            if (
+                self._remaining_uses.get(reg, 0) == 0
+                and reg not in self.region.live_out
+            ):
+                dead_defs.append(reg)
+        # The defs are live at this point even if they die immediately.
+        self._update_peak()
+        for reg in dead_defs:
+            self._kill(reg)
+
+    def pressure_if_scheduled(self, inst: Instruction) -> Dict[RegisterClass, int]:
+        """The per-class pressure right after ``inst`` would issue.
+
+        Used by the ACO guiding heuristics and the optional-stall heuristic
+        to preview an instruction's pressure impact without committing.
+        """
+        result = dict(self.current)
+        for reg in inst.defs:
+            if not self._live.get(reg, False):
+                result[reg.reg_class] = result.get(reg.reg_class, 0) + 1
+        for reg in inst.uses:
+            if (
+                self._remaining_uses.get(reg, 0) == 1
+                and reg not in self.region.live_out
+                and self._live.get(reg, False)
+                and reg not in inst.defs
+            ):
+                result[reg.reg_class] -= 1
+        return result
+
+    def pressure_delta(self, inst: Instruction) -> int:
+        """Net change in total pressure (all classes) if ``inst`` issued now."""
+        preview = self.pressure_if_scheduled(inst)
+        return sum(preview.values()) - sum(self.current.values())
+
+    def closes_ranges(self, inst: Instruction) -> int:
+        """How many live ranges ``inst`` would close (the LUC heuristic input)."""
+        closing = 0
+        for reg in set(inst.uses):
+            if (
+                self._remaining_uses.get(reg, 0) == 1
+                and reg not in self.region.live_out
+                and self._live.get(reg, False)
+            ):
+                closing += 1
+        return closing
+
+    # -- results ----------------------------------------------------------------
+
+    def peak_pressure(self) -> Dict[RegisterClass, int]:
+        """Per-class PRP of everything scheduled so far."""
+        return dict(self.peak)
+
+    def live_registers(self) -> Iterable[VirtualRegister]:
+        return tuple(reg for reg, live in self._live.items() if live)

@@ -1,0 +1,6 @@
+"""Schedule objects and legality validation."""
+
+from .schedule import Schedule
+from .validate import validate_schedule
+
+__all__ = ["Schedule", "validate_schedule"]

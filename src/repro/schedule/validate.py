@@ -1,0 +1,67 @@
+"""Schedule legality checking.
+
+A schedule is legal when every dependence edge ``src -> dst`` satisfies
+``cycle(dst) >= cycle(src) + latency`` and no cycle issues more instructions
+than the machine's issue width. Pass-1 schedules (latencies ignored) can be
+checked with ``respect_latencies=False``, which still demands program-order
+consistency along every edge.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from ..ddg.graph import DDG
+from ..errors import ScheduleError
+from ..machine.model import MachineModel
+from .schedule import Schedule
+
+
+def validate_schedule(
+    schedule: Schedule,
+    ddg: DDG,
+    machine: Optional[MachineModel] = None,
+    respect_latencies: bool = True,
+) -> None:
+    """Raise :class:`ScheduleError` if ``schedule`` is illegal for ``ddg``."""
+    if schedule.region is not ddg.region and schedule.region != ddg.region:
+        raise ScheduleError("schedule and DDG refer to different regions")
+
+    cycles = schedule.cycles
+    for src in range(ddg.num_instructions):
+        for dst, latency in ddg.successors[src]:
+            required = latency if respect_latencies else 1
+            if cycles[dst] - cycles[src] < required:
+                raise ScheduleError(
+                    "dependence %s -> %s needs %d cycle(s); got %d"
+                    % (
+                        ddg.region[src].label,
+                        ddg.region[dst].label,
+                        required,
+                        cycles[dst] - cycles[src],
+                    )
+                )
+
+    issue_width = machine.issue_width if machine is not None else 1
+    per_cycle = Counter(cycles)
+    worst_cycle, worst_count = max(per_cycle.items(), key=lambda kv: kv[1])
+    if worst_count > issue_width:
+        raise ScheduleError(
+            "cycle %d issues %d instructions; issue width is %d"
+            % (worst_cycle, worst_count, issue_width)
+        )
+
+
+def is_legal(
+    schedule: Schedule,
+    ddg: DDG,
+    machine: Optional[MachineModel] = None,
+    respect_latencies: bool = True,
+) -> bool:
+    """Boolean form of :func:`validate_schedule`."""
+    try:
+        validate_schedule(schedule, ddg, machine, respect_latencies)
+    except ScheduleError:
+        return False
+    return True

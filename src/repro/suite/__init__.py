@@ -1,0 +1,31 @@
+"""The synthetic rocPRIM-like benchmark suite.
+
+The paper evaluates on 341 scheduling-sensitive rocPRIM benchmarks built
+from 269 kernels with 181,883 scheduling regions (Table 1). This package
+generates a structurally similar synthetic suite: kernels drawn from the
+algorithmic patterns rocPRIM is made of (reduce, scan, transform, sort,
+histogram, select), each contributing scheduling regions whose sizes follow
+the paper's heavy-tailed distribution and whose dependence/register
+structure exercises the same scheduling trade-offs (wide load fronts that
+spike pressure, serial scan chains that starve ILP, accumulator tiles that
+pin registers).
+"""
+
+from .patterns import (
+    RegionShape,
+    random_region,
+    pattern_region,
+    PATTERN_NAMES,
+)
+from .rocprim import KernelSpec, BenchmarkSpec, Suite, generate_suite
+
+__all__ = [
+    "RegionShape",
+    "random_region",
+    "pattern_region",
+    "PATTERN_NAMES",
+    "KernelSpec",
+    "BenchmarkSpec",
+    "Suite",
+    "generate_suite",
+]

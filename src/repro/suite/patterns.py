@@ -1,0 +1,290 @@
+"""Region generators shaped like GPU-kernel basic blocks.
+
+Two layers:
+
+* :func:`random_region` — a knob-driven generic generator: a stream of
+  loads / ALU ops / stores whose operand choices are controlled by a
+  locality window and a chaining bias. Most patterns are presets of these
+  knobs.
+* Structured generators for the shapes that matter most to the RP/ILP
+  trade-off and cannot be faked with knobs: reduction trees (a wide load
+  front followed by a narrowing combine tree — the classic pressure spike),
+  accumulator tiles (registers pinned live across the whole region) and
+  sorting networks (balanced compare/exchange rounds).
+
+All generators are deterministic in the provided RNG and produce regions of
+exactly the requested size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..ir.builder import RegionBuilder
+from ..ir.block import SchedulingRegion
+from ..ir.registers import SGPR, VGPR, VirtualRegister
+
+_LOAD_OPS = ["global_load", "buffer_load", "flat_load", "ds_read", "s_load_dword"]
+_ALU_OPS = ["v_add", "v_mul_lo", "v_and", "v_xor", "v_min", "v_max", "v_add_f32",
+            "v_mul_f32", "v_fma_f32", "v_lshl", "v_cndmask"]
+_TRANS_OPS = ["v_rcp_f32", "v_sqrt_f32", "v_exp_f32"]
+_STORE_OPS = ["global_store", "buffer_store", "ds_write"]
+_SALU_OPS = ["s_add", "s_and", "s_lshl", "s_cselect"]
+
+
+@dataclass(frozen=True)
+class RegionShape:
+    """Knobs of the generic generator."""
+
+    #: Fraction of instructions that are loads (define, no register uses).
+    load_fraction: float = 0.3
+    #: Fraction that are stores (use, no defs).
+    store_fraction: float = 0.12
+    #: Probability an ALU op consumes the immediately preceding def
+    #: (serialization: high values produce scan-like low-ILP chains).
+    chain_bias: float = 0.4
+    #: Operand locality: how many recent defs operands are drawn from.
+    #: Wide windows stretch live ranges and raise pressure.
+    reuse_window: int = 8
+    #: Fraction of defs placed in SGPRs instead of VGPRs.
+    sgpr_fraction: float = 0.1
+    #: Fraction of ALU ops that are long-latency transcendentals.
+    trans_fraction: float = 0.08
+    #: How many of the final defs are live-out (results of the block).
+    live_out_defs: int = 2
+
+
+def random_region(
+    rng: random.Random, size: int, shape: RegionShape = RegionShape(), name: str = "region"
+) -> SchedulingRegion:
+    """Generate a well-formed region of exactly ``size`` instructions."""
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    builder = RegionBuilder(name)
+    next_vreg = [0]
+    next_sreg = [0]
+    defs_pool: List[VirtualRegister] = []  # in definition order
+
+    def new_reg() -> VirtualRegister:
+        if rng.random() < shape.sgpr_fraction:
+            reg = VirtualRegister(SGPR, next_sreg[0])
+            next_sreg[0] += 1
+        else:
+            reg = VirtualRegister(VGPR, next_vreg[0])
+            next_vreg[0] += 1
+        return reg
+
+    def pick_operand() -> VirtualRegister:
+        if rng.random() < shape.chain_bias:
+            return defs_pool[-1]
+        window = defs_pool[-shape.reuse_window:]
+        return rng.choice(window)
+
+    for index in range(size):
+        can_consume = bool(defs_pool)
+        roll = rng.random()
+        is_last = index == size - 1
+        if not can_consume or roll < shape.load_fraction:
+            reg = new_reg()
+            op = "s_load_dword" if reg.reg_class is SGPR else rng.choice(_LOAD_OPS[:4])
+            builder.inst(op, defs=[reg])
+            defs_pool.append(reg)
+        elif roll < shape.load_fraction + shape.store_fraction or (
+            is_last and rng.random() < 0.5
+        ):
+            operands = {pick_operand()}
+            if len(defs_pool) > 1 and rng.random() < 0.5:
+                operands.add(pick_operand())
+            builder.inst(rng.choice(_STORE_OPS), uses=sorted(operands))
+        else:
+            operands = {pick_operand()}
+            if len(defs_pool) > 1 and rng.random() < 0.75:
+                operands.add(pick_operand())
+            reg = new_reg()
+            if reg.reg_class is SGPR:
+                op = rng.choice(_SALU_OPS)
+            elif rng.random() < shape.trans_fraction:
+                op = rng.choice(_TRANS_OPS)
+            else:
+                op = rng.choice(_ALU_OPS)
+            builder.inst(op, defs=[reg], uses=sorted(operands))
+            defs_pool.append(reg)
+
+    for reg in defs_pool[-shape.live_out_defs:]:
+        builder.live_out(reg)
+    return builder.build()
+
+
+# -- structured generators ----------------------------------------------------
+
+
+def reduction_region(rng: random.Random, size: int, name: str) -> SchedulingRegion:
+    """A load front feeding a pairwise combine tree (reduce/scan front end).
+
+    Scheduling all loads first maximizes ILP but spikes register pressure to
+    the front width; interleaving combines with loads keeps pressure flat —
+    exactly the trade-off the RP pass must navigate.
+    """
+    builder = RegionBuilder(name)
+    # Leave room for the tree: k loads need k-1 combines (2k-1 total).
+    loads = max(2, (size + 1) // 2)
+    values: List[VirtualRegister] = []
+    next_id = 0
+    budget = size
+    for _ in range(loads):
+        if budget <= len(values):  # keep room to combine what we have
+            break
+        reg = VirtualRegister(VGPR, next_id)
+        next_id += 1
+        builder.inst(rng.choice(_LOAD_OPS[:3]), defs=[reg])
+        values.append(reg)
+        budget -= 1
+    while budget > 0 and len(values) > 1:
+        a = values.pop(rng.randrange(len(values)))
+        b = values.pop(rng.randrange(len(values)))
+        reg = VirtualRegister(VGPR, next_id)
+        next_id += 1
+        builder.inst(rng.choice(["v_add_f32", "v_max", "v_add"]), defs=[reg], uses=[a, b])
+        values.append(reg)
+        budget -= 1
+    while budget > 0:  # degenerate sizes: pad with dependent ops
+        src = values[-1]
+        reg = VirtualRegister(VGPR, next_id)
+        next_id += 1
+        builder.inst("v_add", defs=[reg], uses=[src])
+        values[-1] = reg
+        budget -= 1
+    builder.live_out(values[-1])
+    return builder.build()
+
+
+def accumulator_tile_region(rng: random.Random, size: int, name: str) -> SchedulingRegion:
+    """An unrolled GEMM-style tile: accumulators pinned live to the end.
+
+    ``acc`` registers are defined up front, repeatedly FMA'd with freshly
+    loaded operand pairs, and all live-out: the accumulators set a pressure
+    floor and the load pairs decide the peak above it.
+    """
+    num_accs = max(1, min(8, size // 6))
+    builder = RegionBuilder(name)
+    next_id = 0
+
+    def fresh() -> VirtualRegister:
+        nonlocal next_id
+        reg = VirtualRegister(VGPR, next_id)
+        next_id += 1
+        return reg
+
+    accs = []
+    budget = size
+    for _ in range(num_accs):
+        if budget <= 0:
+            break
+        reg = fresh()
+        builder.inst("v_mov", defs=[reg])
+        accs.append(reg)
+        budget -= 1
+    while budget >= 3 and accs:
+        a, b = fresh(), fresh()
+        builder.inst(rng.choice(_LOAD_OPS[:3]), defs=[a])
+        builder.inst(rng.choice(_LOAD_OPS[:3]), defs=[b])
+        slot = rng.randrange(len(accs))
+        acc_new = fresh()
+        builder.inst("v_fma_f32", defs=[acc_new], uses=sorted([a, b, accs[slot]]))
+        accs[slot] = acc_new
+        budget -= 3
+    while budget > 0 and accs:
+        slot = rng.randrange(len(accs))
+        acc_new = fresh()
+        builder.inst("v_add_f32", defs=[acc_new], uses=[accs[slot]])
+        accs[slot] = acc_new
+        budget -= 1
+    for reg in accs:
+        builder.live_out(reg)
+    return builder.build()
+
+
+def sort_network_region(rng: random.Random, size: int, name: str) -> SchedulingRegion:
+    """Rounds of compare/exchange pairs over a working set (bitonic sort)."""
+    lanes = max(2, min(16, size // 4))
+    builder = RegionBuilder(name)
+    next_id = 0
+
+    def fresh() -> VirtualRegister:
+        nonlocal next_id
+        reg = VirtualRegister(VGPR, next_id)
+        next_id += 1
+        return reg
+
+    regs = []
+    budget = size
+    for _ in range(lanes):
+        if budget <= 0:
+            break
+        reg = fresh()
+        builder.inst(rng.choice(_LOAD_OPS[:3]), defs=[reg])
+        regs.append(reg)
+        budget -= 1
+    while budget >= 2 and len(regs) >= 2:
+        i, j = rng.sample(range(len(regs)), 2)
+        lo, hi = fresh(), fresh()
+        builder.inst("v_min", defs=[lo], uses=sorted([regs[i], regs[j]]))
+        builder.inst("v_max", defs=[hi], uses=sorted([regs[i], regs[j]]))
+        regs[i], regs[j] = lo, hi
+        budget -= 2
+    while budget > 0:
+        reg = fresh()
+        builder.inst("v_add", defs=[reg], uses=[regs[0]])
+        regs[0] = reg
+        budget -= 1
+    for reg in regs[: min(4, len(regs))]:
+        builder.live_out(reg)
+    return builder.build()
+
+
+# -- the pattern registry -----------------------------------------------------
+
+_KNOB_PATTERNS: Dict[str, RegionShape] = {
+    # transform/for_each: parallel short chains, stores at the ends.
+    "transform": RegionShape(load_fraction=0.30, store_fraction=0.18, chain_bias=0.55,
+                             reuse_window=5, trans_fraction=0.10),
+    # inclusive/exclusive scan inner block: long dependent chain.
+    "scan": RegionShape(load_fraction=0.15, store_fraction=0.10, chain_bias=0.9,
+                        reuse_window=3, trans_fraction=0.02),
+    # stencil-ish gather: wide reuse windows stretch live ranges.
+    "stencil": RegionShape(load_fraction=0.35, store_fraction=0.10, chain_bias=0.2,
+                           reuse_window=20, trans_fraction=0.05, live_out_defs=3),
+    # histogram/binning: loads, bit ops, LDS traffic.
+    "histogram": RegionShape(load_fraction=0.32, store_fraction=0.25, chain_bias=0.35,
+                             reuse_window=6, sgpr_fraction=0.2),
+    # select/partition: balanced mix with scalar control values.
+    "select": RegionShape(load_fraction=0.28, store_fraction=0.15, chain_bias=0.45,
+                          reuse_window=8, sgpr_fraction=0.25),
+}
+
+_STRUCTURED_PATTERNS: Dict[str, Callable[[random.Random, int, str], SchedulingRegion]] = {
+    "reduce": reduction_region,
+    "gemm_tile": accumulator_tile_region,
+    "sort": sort_network_region,
+}
+
+#: All pattern names, in a stable order (kernels rotate through these).
+PATTERN_NAMES: Tuple[str, ...] = tuple(
+    sorted(tuple(_KNOB_PATTERNS) + tuple(_STRUCTURED_PATTERNS))
+)
+
+
+def pattern_region(
+    pattern: str, rng: random.Random, size: int, name: str = ""
+) -> SchedulingRegion:
+    """Generate one region of the named pattern."""
+    name = name or ("%s_%d" % (pattern, size))
+    if pattern in _STRUCTURED_PATTERNS:
+        return _STRUCTURED_PATTERNS[pattern](rng, size, name)
+    try:
+        shape = _KNOB_PATTERNS[pattern]
+    except KeyError:
+        raise ValueError("unknown pattern %r (known: %s)" % (pattern, ", ".join(PATTERN_NAMES)))
+    return random_region(rng, size, shape, name)

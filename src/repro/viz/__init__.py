@@ -1,0 +1,11 @@
+"""Inspection tooling: DOT export, schedule timelines, pressure sparklines.
+
+Nothing here affects scheduling; these helpers exist for debugging regions
+and presenting results (the examples use them, and downstream users get a
+quick way to *see* a DDG or a schedule).
+"""
+
+from .dot import ddg_to_dot
+from .timeline import schedule_timeline, pressure_sparkline, compare_schedules
+
+__all__ = ["ddg_to_dot", "schedule_timeline", "pressure_sparkline", "compare_schedules"]

@@ -1,0 +1,98 @@
+"""Plain-text schedule timelines and pressure sparklines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.registers import RegisterClass
+from ..rp.liveness import pressure_profile
+from ..schedule.schedule import Schedule
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def schedule_timeline(schedule: Schedule, width: int = 72) -> str:
+    """A one-row-per-instruction timeline (a text Gantt chart).
+
+    ``#`` marks the issue cycle, ``-`` the latency shadow (cycles until the
+    result is available), ``.`` idle cycles.
+    """
+    region = schedule.region
+    length = schedule.length
+    scale = max(1, -(-length // width))  # ceil division: cycles per column
+    columns = -(-length // scale)
+    lines = ["%s (length %d, %d cycle(s)/column)" % (region.name, length, scale)]
+    for index in schedule.order:
+        inst = region[index]
+        start = schedule.cycles[index]
+        shadow_end = min(length, start + max(1, inst.latency))
+        row = []
+        for col in range(columns):
+            lo, hi = col * scale, (col + 1) * scale
+            if lo <= start < hi:
+                row.append("#")
+            elif start < hi and lo < shadow_end:
+                row.append("-")
+            else:
+                row.append(".")
+        lines.append("%-8s |%s|" % (inst.label[:8], "".join(row)))
+    return "\n".join(lines) + "\n"
+
+
+def pressure_sparkline(
+    schedule: Schedule, reg_class: Optional[RegisterClass] = None, width: int = 72
+) -> str:
+    """A sparkline of register pressure across the schedule's issue slots."""
+    profile = pressure_profile(schedule)
+    if reg_class is None:
+        # Default: the class with the highest peak.
+        reg_class = max(profile, key=lambda cls: max(profile[cls], default=0))
+    values = profile[reg_class]
+    if not values:
+        return "(empty)\n"
+    peak = max(values)
+    scale_note = ""
+    if len(values) > width:
+        # Downsample by taking per-bucket maxima (peaks must stay visible).
+        bucket = -(-len(values) // width)
+        values = [
+            max(values[i : i + bucket]) for i in range(0, len(values), bucket)
+        ]
+        scale_note = ", %d slot(s)/char" % bucket
+    chars = []
+    for value in values:
+        level = 0 if peak == 0 else round(value / peak * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "%s pressure [peak %d%s]: |%s|\n" % (
+        reg_class.name,
+        peak,
+        scale_note,
+        "".join(chars),
+    )
+
+
+def compare_schedules(
+    baseline: Schedule, candidate: Schedule, names=("baseline", "candidate")
+) -> str:
+    """Side-by-side summary of two schedules of the same region."""
+    if baseline.region != candidate.region:
+        raise ValueError("schedules belong to different regions")
+    from ..rp.liveness import peak_pressure
+
+    rows = []
+    base_peak = peak_pressure(baseline)
+    cand_peak = peak_pressure(candidate)
+    rows.append(("length", baseline.length, candidate.length))
+    rows.append(("stalls", baseline.num_stalls, candidate.num_stalls))
+    for cls in sorted(set(base_peak) | set(cand_peak)):
+        rows.append(
+            ("%s peak" % cls.name, base_peak.get(cls, 0), cand_peak.get(cls, 0))
+        )
+    width = max(len(r[0]) for r in rows)
+    lines = [
+        "%s  %10s  %10s" % ("".ljust(width), names[0][:10], names[1][:10]),
+    ]
+    for label, a, b in rows:
+        marker = "" if a == b else ("  (-)" if b < a else "  (+)")
+        lines.append("%s  %10s  %10s%s" % (label.ljust(width), a, b, marker))
+    return "\n".join(lines) + "\n"

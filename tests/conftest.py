@@ -1,0 +1,76 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.ddg import DDG
+from repro.ir.builder import RegionBuilder, figure1_region
+from repro.machine import amd_vega20, simple_test_target
+from repro.suite.patterns import PATTERN_NAMES, pattern_region
+
+
+@pytest.fixture
+def fig1_region():
+    return figure1_region()
+
+
+@pytest.fixture
+def fig1_ddg(fig1_region):
+    return DDG(fig1_region)
+
+
+@pytest.fixture
+def vega():
+    return amd_vega20()
+
+
+@pytest.fixture
+def tiny_machine():
+    return simple_test_target()
+
+
+@pytest.fixture
+def chain_region():
+    """A pure dependence chain: a -> b -> c -> d with latency-2 ops."""
+    b = RegionBuilder("chain")
+    b.inst("op2", defs=["v0"])
+    b.inst("op2", defs=["v1"], uses=["v0"])
+    b.inst("op2", defs=["v2"], uses=["v1"])
+    b.inst("op2", defs=["v3"], uses=["v2"])
+    return b.live_out("v3").build()
+
+
+@pytest.fixture
+def wide_region():
+    """Four independent loads feeding one consumer (a pressure spike)."""
+    b = RegionBuilder("wide")
+    for i in range(4):
+        b.inst("global_load", defs=["v%d" % i])
+    b.inst("v_add", defs=["v4"], uses=["v0", "v1"])
+    b.inst("v_add", defs=["v5"], uses=["v2", "v3"])
+    b.inst("v_add", defs=["v6"], uses=["v4", "v5"])
+    return b.live_out("v6").build()
+
+
+def make_region(pattern: str, seed: int, size: int):
+    """Deterministic generated region (used by strategies and tests)."""
+    return pattern_region(pattern, random.Random(seed), size)
+
+
+@st.composite
+def regions(draw, min_size: int = 2, max_size: int = 40):
+    """Hypothesis strategy: a deterministic generated region."""
+    pattern = draw(st.sampled_from(PATTERN_NAMES))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    return make_region(pattern, seed, size)
+
+
+@st.composite
+def ddgs(draw, min_size: int = 2, max_size: int = 40):
+    """Hypothesis strategy: the DDG of a generated region."""
+    return DDG(draw(regions(min_size=min_size, max_size=max_size)))

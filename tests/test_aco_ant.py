@@ -1,0 +1,168 @@
+"""Tests for single-ant construction (both passes)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.aco import PheromoneTable, construct_cycles, construct_order
+from repro.aco.stalls import OptionalStallHeuristic
+from repro.config import ACOParams
+from repro.ddg import DDG
+from repro.heuristics import CriticalPathHeuristic, LastUseCountHeuristic
+from repro.ir.registers import VGPR
+from repro.machine import amd_vega20, simple_test_target
+from repro.rp import peak_pressure
+from repro.schedule import Schedule, validate_schedule
+
+from conftest import ddgs
+
+
+def _setup(ddg, heuristic=None, params=None):
+    params = params or ACOParams()
+    pheromone = PheromoneTable(ddg.num_instructions, params)
+    prepared = (heuristic or LastUseCountHeuristic()).prepare(ddg)
+    return params, pheromone, prepared
+
+
+class TestConstructOrder:
+    def test_produces_valid_permutation(self, fig1_ddg, vega):
+        params, pheromone, prepared = _setup(fig1_ddg)
+        result = construct_order(
+            fig1_ddg, vega, pheromone, prepared, params, random.Random(1)
+        )
+        assert sorted(result.order) == list(range(7))
+        assert result.alive
+        schedule = Schedule.from_order(fig1_ddg.region, result.order)
+        validate_schedule(schedule, fig1_ddg, respect_latencies=False)
+
+    def test_reported_peak_matches_liveness(self, fig1_ddg, vega):
+        params, pheromone, prepared = _setup(fig1_ddg)
+        result = construct_order(
+            fig1_ddg, vega, pheromone, prepared, params, random.Random(7)
+        )
+        schedule = Schedule.from_order(fig1_ddg.region, result.order)
+        assert result.peak == peak_pressure(schedule)
+
+    def test_stats_counted(self, fig1_ddg, vega):
+        params, pheromone, prepared = _setup(fig1_ddg)
+        result = construct_order(
+            fig1_ddg, vega, pheromone, prepared, params, random.Random(1)
+        )
+        assert result.stats.steps == 7
+        assert result.stats.ready_scans >= 7
+        assert result.stats.successor_ops == 6  # one per merged edge
+
+    def test_deterministic_given_seed(self, fig1_ddg, vega):
+        params, pheromone, prepared = _setup(fig1_ddg)
+        a = construct_order(fig1_ddg, vega, pheromone, prepared, params, random.Random(3))
+        b = construct_order(fig1_ddg, vega, pheromone, prepared, params, random.Random(3))
+        assert a.order == b.order
+
+    def test_exploit_decider_hoistable(self, fig1_ddg, vega):
+        params, pheromone, prepared = _setup(fig1_ddg)
+        result = construct_order(
+            fig1_ddg, vega, pheromone, prepared, params, random.Random(1),
+            exploit_decider=lambda step: True,
+        )
+        assert result.alive
+
+    @given(ddgs())
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid_property(self, ddg):
+        vega = amd_vega20()
+        params, pheromone, prepared = _setup(ddg)
+        result = construct_order(ddg, vega, pheromone, prepared, params, random.Random(5))
+        schedule = Schedule.from_order(ddg.region, result.order)
+        validate_schedule(schedule, ddg, respect_latencies=False)
+        assert result.peak == peak_pressure(schedule)
+
+
+class TestConstructCycles:
+    def test_alive_ant_is_legal_and_meets_target(self, fig1_ddg, vega):
+        params, pheromone, prepared = _setup(fig1_ddg, CriticalPathHeuristic())
+        target = {VGPR: 4}
+        result = construct_cycles(
+            fig1_ddg, vega, pheromone, prepared, params, random.Random(2),
+            target_pressure=target, allow_optional_stalls=True,
+        )
+        assert result.alive
+        schedule = Schedule(fig1_ddg.region, result.cycles)
+        validate_schedule(schedule, fig1_ddg, vega)
+        assert result.peak[VGPR] <= 4
+        assert result.peak == peak_pressure(schedule)
+
+    def test_tight_target_with_stalls(self, fig1_ddg, vega):
+        """PRP 3 on Figure 1 requires optional stalls (the paper's example)."""
+        params = ACOParams(optional_stall_budget=1.0, optional_stall_prob=1.0)
+        pheromone = PheromoneTable(7, params)
+        prepared = LastUseCountHeuristic().prepare(fig1_ddg)
+        successes = 0
+        for seed in range(20):
+            result = construct_cycles(
+                fig1_ddg, vega, pheromone, prepared, params, random.Random(seed),
+                target_pressure={VGPR: 3}, allow_optional_stalls=True,
+            )
+            if result.alive:
+                successes += 1
+                assert result.peak[VGPR] <= 3
+                validate_schedule(Schedule(fig1_ddg.region, result.cycles), fig1_ddg, vega)
+        assert successes > 0
+
+    def test_impossible_target_kills_ant(self, fig1_ddg, vega):
+        params, pheromone, prepared = _setup(fig1_ddg)
+        result = construct_cycles(
+            fig1_ddg, vega, pheromone, prepared, params, random.Random(2),
+            target_pressure={VGPR: 1}, allow_optional_stalls=True,
+        )
+        assert not result.alive
+
+    def test_no_stalls_allowed_can_die(self, vega, wide_region):
+        ddg = DDG(wide_region)
+        params, pheromone, prepared = _setup(ddg, CriticalPathHeuristic())
+        # Tight-ish target with stalls disallowed: ants must pick safe
+        # candidates or die; either way the result is well-defined.
+        result = construct_cycles(
+            ddg, vega, pheromone, prepared, params, random.Random(0),
+            target_pressure={VGPR: 2}, allow_optional_stalls=False,
+        )
+        if result.alive:
+            assert result.peak[VGPR] <= 2
+
+    def test_max_length_kills_runaways(self, fig1_ddg, vega):
+        params, pheromone, prepared = _setup(fig1_ddg)
+        result = construct_cycles(
+            fig1_ddg, vega, pheromone, prepared, params, random.Random(2),
+            target_pressure={VGPR: 10}, allow_optional_stalls=False, max_length=2,
+        )
+        assert not result.alive
+
+    def test_optional_stalls_counted(self, fig1_ddg, vega):
+        params = ACOParams(optional_stall_budget=1.0, optional_stall_prob=1.0)
+        pheromone = PheromoneTable(7, params)
+        prepared = LastUseCountHeuristic().prepare(fig1_ddg)
+        stall_heuristic = OptionalStallHeuristic(params, 7)
+        for seed in range(10):
+            result = construct_cycles(
+                fig1_ddg, vega, pheromone, prepared, params, random.Random(seed),
+                target_pressure={VGPR: 3}, allow_optional_stalls=True,
+                stall_heuristic=stall_heuristic,
+            )
+            assert result.stats.optional_stalls <= stall_heuristic.max_optional_stalls
+
+    @given(ddgs(max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_alive_results_always_legal(self, ddg):
+        vega = amd_vega20()
+        params, pheromone, prepared = _setup(ddg, CriticalPathHeuristic())
+        target = vega.aprp({VGPR: 64})
+        result = construct_cycles(
+            ddg, vega, pheromone, prepared, params, random.Random(11),
+            target_pressure=target, allow_optional_stalls=True,
+        )
+        if result.alive:
+            schedule = Schedule(ddg.region, result.cycles)
+            validate_schedule(schedule, ddg, vega)
+            assert result.peak == peak_pressure(schedule)
+            for cls, limit in target.items():
+                assert result.peak.get(cls, 0) <= limit

@@ -1,0 +1,120 @@
+"""Tests for the CLI and the public package surface."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_from_docstring(self):
+        """The package docstring's quickstart must actually run."""
+        from repro import DDG, ParallelACOScheduler, RegionBuilder, amd_vega20
+        from repro.config import GPUParams
+
+        b = RegionBuilder("example")
+        b.inst("global_load", defs=["v0"])
+        b.inst("global_load", defs=["v1"])
+        b.inst("v_add_f32", defs=["v2"], uses=["v0", "v1"])
+        region = b.live_out("v2").build()
+
+        machine = amd_vega20()
+        result = ParallelACOScheduler(
+            machine, gpu_params=GPUParams(blocks=1)
+        ).schedule(DDG(region))
+        assert result.schedule.length >= 3
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            ConfigError,
+            DDGError,
+            GPUSimError,
+            IRError,
+            MachineModelError,
+            ParseError,
+            PipelineError,
+            ReproError,
+            ScheduleError,
+        )
+
+        for exc in (
+            IRError,
+            ParseError,
+            DDGError,
+            ScheduleError,
+            MachineModelError,
+            ConfigError,
+            GPUSimError,
+            PipelineError,
+        ):
+            assert issubclass(exc, ReproError)
+
+
+class TestCLI:
+    def test_list(self):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+
+    def test_unknown_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["nope", "--scale", "test"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_single_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "finished in" in out
+
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "table1" in result.stdout
+        assert "fig4" in result.stdout
+
+
+class TestCSVExport:
+    def test_to_csv_roundtrip(self):
+        from repro.experiments import ExperimentTable
+
+        table = ExperimentTable("My Title (scale=test)", ("A", "B"))
+        table.add_row("x,with,commas", 1)
+        table.add_note("hello")
+        csv_text = table.to_csv()
+        assert csv_text.startswith("# My Title")
+        assert '"x,with,commas",1' in csv_text
+        assert "# note: hello" in csv_text
+
+    def test_csv_filename_is_safe(self):
+        from repro.experiments import ExperimentTable
+
+        table = ExperimentTable("Table 3.a: parallel speedup! (scale=x)", ("A",))
+        name = table.csv_filename()
+        assert name.endswith(".csv")
+        assert " " not in name and "!" not in name and "(" not in name
+
+    def test_cli_writes_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--scale", "test", "--csv", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.csv"))
+        assert len(files) == 1
+        assert "Measured" in files[0].read_text()

@@ -1,0 +1,110 @@
+"""Behavioural tests of the simulated-cost accounting: the Section V
+optimizations must move modelled time in the documented direction."""
+
+import random
+
+import pytest
+
+from repro.config import ACOParams, GPUParams, replace_params
+from repro.ddg import DDG
+from repro.machine import amd_vega20
+from repro.parallel import ParallelACOScheduler
+from repro.suite.patterns import pattern_region
+
+from conftest import make_region
+
+
+@pytest.fixture(scope="module")
+def vega_m():
+    return amd_vega20()
+
+
+@pytest.fixture(scope="module")
+def big_ddg():
+    return DDG(make_region("reduce", 11, 120))
+
+
+def _pass2_seconds(machine, ddg, gpu, seed=3, params=None):
+    scheduler = ParallelACOScheduler(machine, params=params, gpu_params=gpu)
+    result = scheduler.schedule(ddg, seed=seed)
+    return result
+
+
+BASE = GPUParams(blocks=4)
+
+
+class TestMemoryOptimizationCosts:
+    def test_aos_layout_is_much_slower(self, vega_m, big_ddg):
+        on = _pass2_seconds(vega_m, big_ddg, BASE)
+        off = _pass2_seconds(vega_m, big_ddg, replace_params(BASE, soa_layout=False))
+        # Memory optimizations dominate (paper Table 4.a: 6-11x overall).
+        assert off.pass2.kernel_seconds > 3 * on.pass2.kernel_seconds
+
+    def test_unbatched_transfers_cost_per_array(self, vega_m, big_ddg):
+        on = _pass2_seconds(vega_m, big_ddg, BASE)
+        off = _pass2_seconds(vega_m, big_ddg, replace_params(BASE, batched_transfers=False))
+        assert off.pass2.transfer_seconds > on.pass2.transfer_seconds
+
+    def test_memory_opts_do_not_change_search(self, vega_m, big_ddg):
+        """Layout toggles change only the cost model, never the schedules."""
+        on = _pass2_seconds(vega_m, big_ddg, BASE)
+        off = _pass2_seconds(vega_m, big_ddg, BASE.without_memory_opts())
+        assert on.schedule == off.schedule
+        assert on.pass1.iterations == off.pass1.iterations
+        assert on.pass2.iterations == off.pass2.iterations
+
+
+class TestDivergenceOptimizationCosts:
+    def test_thread_level_draws_cost_more_per_iteration(self, vega_m, big_ddg):
+        on = _pass2_seconds(vega_m, big_ddg, BASE)
+        off = _pass2_seconds(
+            vega_m, big_ddg, replace_params(BASE, wavefront_level_choice=False)
+        )
+        def per_iter(r):
+            seconds = r.pass1.kernel_seconds + r.pass2.kernel_seconds
+            iters = max(1, r.pass1.iterations + r.pass2.iterations)
+            return seconds / iters
+        assert per_iter(off) > per_iter(on) * 0.9  # never cheaper (allow noise)
+
+    def test_all_wavefronts_stalling_cost_more(self, vega_m, big_ddg):
+        quarter = _pass2_seconds(
+            vega_m, big_ddg, replace_params(BASE, stall_wavefront_fraction=0.25)
+        )
+        everyone = _pass2_seconds(
+            vega_m, big_ddg, replace_params(BASE, stall_wavefront_fraction=1.0)
+        )
+        def p2_per_iter(r):
+            return r.pass2.kernel_seconds / max(1, r.pass2.iterations)
+        assert p2_per_iter(everyone) > p2_per_iter(quarter) * 0.8
+
+    def test_zero_stall_wavefronts_cannot_recover_length(self, vega_m, big_ddg):
+        """Table 6's 0% column: without optional stalls the pass-2 search
+        cannot satisfy tight targets and falls back to the (long) stretched
+        pass-1 schedule."""
+        none = _pass2_seconds(
+            vega_m, big_ddg, replace_params(BASE, stall_wavefront_fraction=0.0)
+        )
+        half = _pass2_seconds(
+            vega_m, big_ddg, replace_params(BASE, stall_wavefront_fraction=0.5)
+        )
+        assert none.length >= half.length
+
+
+class TestLaunchGeometry:
+    def test_more_blocks_more_ants_same_batch_cost(self, vega_m):
+        """Within one batch (<= 240 wavefronts) the kernel time is the max
+        over wavefronts, so doubling blocks must not double kernel time."""
+        ddg = DDG(make_region("transform", 3, 60))
+        small = _pass2_seconds(vega_m, ddg, GPUParams(blocks=2), seed=9)
+        big = _pass2_seconds(vega_m, ddg, GPUParams(blocks=8), seed=9)
+        if small.pass2.invoked and big.pass2.invoked:
+            assert big.pass2.kernel_seconds < 2 * small.pass2.kernel_seconds
+
+    def test_launch_overhead_charged_per_invoked_pass(self, vega_m):
+        ddg = DDG(make_region("scan", 5, 25))
+        result = _pass2_seconds(vega_m, ddg, GPUParams(blocks=2), seed=1)
+        for p in (result.pass1, result.pass2):
+            if p.invoked:
+                assert p.launch_seconds > 0
+            else:
+                assert p.seconds == 0.0

@@ -1,0 +1,62 @@
+"""Tests for the per-iteration convergence traces."""
+
+import math
+
+from repro.aco import SequentialACOScheduler
+from repro.config import GPUParams
+from repro.ddg import DDG
+from repro.machine import simple_test_target
+from repro.parallel import ParallelACOScheduler
+
+from conftest import make_region
+
+
+class TestSequentialTrace:
+    def test_length_matches_iterations(self, fig1_ddg, tiny_machine):
+        result = SequentialACOScheduler(tiny_machine).schedule(fig1_ddg, seed=42)
+        for p in (result.pass1, result.pass2):
+            if p.invoked:
+                assert len(p.trace) == p.iterations
+            else:
+                assert p.trace == ()
+
+    def test_running_minimum_reaches_final_cost(self, tiny_machine):
+        ddg = DDG(make_region("reduce", 3, 30))
+        result = SequentialACOScheduler(tiny_machine).schedule(ddg, seed=7)
+        for p in (result.pass1, result.pass2):
+            if p.invoked and p.trace:
+                finite = [c for c in p.trace if math.isfinite(c)]
+                if p.improved:
+                    assert min(finite) == p.final_cost
+
+    def test_trace_never_beats_final(self, tiny_machine):
+        ddg = DDG(make_region("sort", 5, 25))
+        result = SequentialACOScheduler(tiny_machine).schedule(ddg, seed=9)
+        for p in (result.pass1, result.pass2):
+            for cost in p.trace:
+                assert cost >= p.final_cost
+
+
+class TestParallelTrace:
+    def test_trace_recorded(self, tiny_machine):
+        ddg = DDG(make_region("reduce", 3, 30))
+        result = ParallelACOScheduler(
+            tiny_machine, gpu_params=GPUParams(blocks=2)
+        ).schedule(ddg, seed=7)
+        for p in (result.pass1, result.pass2):
+            if p.invoked:
+                assert len(p.trace) == p.iterations
+                for cost in p.trace:
+                    assert cost >= p.final_cost
+
+    def test_dead_iterations_marked_infinite(self, tiny_machine):
+        """Iterations where every ant died appear as inf in the trace, so
+        convergence plots show the search struggling rather than lying."""
+        ddg = DDG(make_region("gemm_tile", 2, 40))
+        result = ParallelACOScheduler(
+            tiny_machine, gpu_params=GPUParams(blocks=1)
+        ).schedule(ddg, seed=3)
+        # Not guaranteed to contain inf, but the representation must be valid.
+        for p in (result.pass1, result.pass2):
+            for cost in p.trace:
+                assert cost > 0

@@ -1,0 +1,106 @@
+"""Tests for repro.ddg.graph."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ddg import DDG
+from repro.ddg.graph import DepKind
+from repro.errors import DDGError
+from repro.ir.builder import RegionBuilder
+
+from conftest import ddgs
+
+
+def _labels(region, pairs):
+    return {(region[a].label, region[b].label) for a, b in pairs}
+
+
+class TestFlowDependences:
+    def test_figure1_edges(self, fig1_ddg):
+        region = fig1_ddg.region
+        edges = {(e.src, e.dst) for e in fig1_ddg.edges}
+        named = _labels(region, edges)
+        assert named == {
+            ("A", "E"), ("B", "E"), ("C", "F"), ("D", "F"), ("E", "G"), ("F", "G"),
+        }
+        assert all(e.kind is DepKind.FLOW for e in fig1_ddg.edges)
+
+    def test_flow_latency_is_producer_latency(self, fig1_ddg):
+        region = fig1_ddg.region
+        by_label = {i.label: i.index for i in region}
+        assert fig1_ddg.latency(by_label["A"], by_label["E"]) == 3
+        assert fig1_ddg.latency(by_label["C"], by_label["F"]) == 5
+
+    def test_zero_latency_producer_clamped_to_one(self):
+        b = RegionBuilder("z")
+        b.inst("op1", defs=["v0"], latency=0)
+        b.inst("op1", defs=["v1"], uses=["v0"])
+        ddg = DDG(b.build())
+        assert ddg.latency(0, 1) == 1
+
+
+class TestAntiAndOutputDependences:
+    def test_anti_dependence(self):
+        b = RegionBuilder("anti")
+        b.inst("op1", defs=["v0"])
+        b.inst("op1", defs=["v1"], uses=["v0"])  # reads v0
+        b.inst("op1", defs=["v0"])  # redefines v0 -> anti from reader
+        ddg = DDG(b.build())
+        kinds = {(e.src, e.dst): e.kind for e in ddg.edges}
+        assert kinds[(1, 2)] is DepKind.ANTI
+        assert kinds[(0, 2)] is DepKind.OUTPUT
+
+    def test_output_dependence_latency_one(self):
+        b = RegionBuilder("out")
+        b.inst("op5", defs=["v0"])
+        b.inst("op1", defs=["v0"])
+        ddg = DDG(b.build())
+        assert ddg.latency(0, 1) == 1
+
+    def test_parallel_edges_merge_to_max_latency(self):
+        b = RegionBuilder("par")
+        b.inst("op3", defs=["v0", "v1"])
+        b.inst("op1", defs=["v2"], uses=["v0", "v1"])
+        ddg = DDG(b.build())
+        assert ddg.latency(0, 1) == 3
+        assert ddg.num_edges == 1  # merged
+        assert len(ddg.edges) == 2  # raw multi-edges kept
+
+
+class TestStructure:
+    def test_roots_and_leaves(self, fig1_ddg):
+        region = fig1_ddg.region
+        assert {region[i].label for i in fig1_ddg.roots} == {"A", "B", "C", "D"}
+        assert {region[i].label for i in fig1_ddg.leaves} == {"G"}
+
+    def test_pred_counts(self, fig1_ddg):
+        by_label = {i.label: i.index for i in fig1_ddg.region}
+        assert fig1_ddg.num_predecessors[by_label["G"]] == 2
+        assert fig1_ddg.num_predecessors[by_label["A"]] == 0
+
+    def test_has_edge_and_latency_errors(self, fig1_ddg):
+        assert fig1_ddg.has_edge(0, 4)
+        assert not fig1_ddg.has_edge(0, 1)
+        with pytest.raises(DDGError):
+            fig1_ddg.latency(0, 1)
+
+    def test_max_successor_count(self, fig1_ddg):
+        assert fig1_ddg.max_successor_count() == 1
+
+    def test_repr(self, fig1_ddg):
+        assert "figure1" in repr(fig1_ddg)
+
+    @given(ddgs())
+    @settings(max_examples=50)
+    def test_edges_respect_program_order(self, ddg):
+        for src in range(ddg.num_instructions):
+            for dst, latency in ddg.successors[src]:
+                assert src < dst
+                assert latency >= 1
+
+    @given(ddgs())
+    @settings(max_examples=50)
+    def test_successors_and_predecessors_mirror(self, ddg):
+        for src in range(ddg.num_instructions):
+            for dst, latency in ddg.successors[src]:
+                assert (src, latency) in ddg.predecessors[dst]

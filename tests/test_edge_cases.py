@@ -1,0 +1,146 @@
+"""Degenerate shapes and robustness edges across the whole stack."""
+
+import pytest
+
+from repro.aco import SequentialACOScheduler
+from repro.config import ACOParams, GPUParams
+from repro.ddg import DDG, TransitiveClosure, region_bounds
+from repro.heuristics import AMDMaxOccupancyScheduler, CriticalPathHeuristic, list_schedule
+from repro.ir import RegionBuilder
+from repro.ir.registers import VGPR
+from repro.machine import amd_vega20, simple_test_target
+from repro.parallel import ParallelACOScheduler, RegionDeviceData
+from repro.pipeline import CompilePipeline
+from repro.rp import peak_pressure
+from repro.schedule import Schedule, validate_schedule
+
+
+@pytest.fixture
+def single_instruction():
+    b = RegionBuilder("one")
+    b.inst("v_mov", defs=["v0"])
+    return b.live_out("v0").build()
+
+
+@pytest.fixture
+def no_registers():
+    """Instructions with empty Def/Use sets (barriers, nops)."""
+    b = RegionBuilder("nops")
+    for _ in range(3):
+        b.inst("s_branch")
+    return b.build()
+
+
+@pytest.fixture
+def fully_serial():
+    b = RegionBuilder("serial")
+    b.inst("op5", defs=["v0"])
+    b.inst("op5", defs=["v1"], uses=["v0"])
+    b.inst("op5", defs=["v2"], uses=["v1"])
+    return b.live_out("v2").build()
+
+
+class TestSingleInstruction:
+    def test_everything_handles_n_equals_1(self, single_instruction, vega):
+        ddg = DDG(single_instruction)
+        assert ddg.roots == (0,)
+        assert TransitiveClosure(ddg).ready_list_upper_bound() == 1
+        assert region_bounds(ddg).length == 1
+        schedule = list_schedule(ddg, vega, heuristic=CriticalPathHeuristic())
+        assert schedule.length == 1
+        result = SequentialACOScheduler(vega).schedule(ddg)
+        assert result.length == 1
+        par = ParallelACOScheduler(vega, gpu_params=GPUParams(blocks=1)).schedule(ddg)
+        assert par.length == 1
+        # Both passes are provably optimal: no time spent.
+        assert par.seconds == 0.0
+
+    def test_pipeline_skips_aco(self, single_instruction, vega):
+        pipeline = CompilePipeline(vega, scheduler=SequentialACOScheduler(vega))
+        outcome = pipeline.compile_region(DDG(single_instruction))
+        assert not outcome.aco_invoked
+
+
+class TestNoRegisters:
+    def test_zero_pressure_everywhere(self, no_registers, vega):
+        ddg = DDG(no_registers)
+        assert ddg.num_edges == 0
+        schedule = list_schedule(ddg, vega, heuristic=CriticalPathHeuristic())
+        assert peak_pressure(schedule) == {}
+        validate_schedule(schedule, ddg, vega)
+
+    def test_device_image_handles_empty_register_set(self, no_registers, vega):
+        data = RegionDeviceData(DDG(no_registers), vega)
+        assert data.num_registers == 0
+        par = ParallelACOScheduler(vega, gpu_params=GPUParams(blocks=1)).schedule(
+            DDG(no_registers)
+        )
+        validate_schedule(par.schedule, DDG(no_registers), vega)
+
+
+class TestFullySerial:
+    def test_no_scheduling_freedom(self, fully_serial, vega):
+        ddg = DDG(fully_serial)
+        assert TransitiveClosure(ddg).ready_list_upper_bound() == 1
+        schedule = list_schedule(ddg, vega, heuristic=CriticalPathHeuristic())
+        assert schedule.length == 11  # 5 + 5 + 1 issue cycles
+        result = SequentialACOScheduler(vega).schedule(ddg, seed=0)
+        assert result.length == 11  # nothing to improve; LB met
+
+    def test_colony_with_capacity_one(self, fully_serial, vega):
+        """The available list never exceeds one entry: the tightest
+        possible preallocation, exercising the swap-remove at capacity."""
+        par = ParallelACOScheduler(vega, gpu_params=GPUParams(blocks=1)).schedule(
+            DDG(fully_serial), seed=1
+        )
+        validate_schedule(par.schedule, DDG(fully_serial), vega)
+
+
+class TestParameterEdges:
+    def test_stagnation_limit_one_stops_fast(self, vega):
+        from conftest import make_region
+
+        params = ACOParams(termination_conditions=(1, 1, 1))
+        ddg = DDG(make_region("reduce", 1, 40))
+        result = SequentialACOScheduler(vega, params=params).schedule(ddg, seed=1)
+        for p in (result.pass1, result.pass2):
+            if p.invoked and not p.hit_lower_bound:
+                # At most 1 improvement-free iteration after the last
+                # improving one; with max_iterations as the other cap.
+                assert p.iterations <= params.max_iterations
+
+    def test_zero_exploitation_is_pure_roulette(self, tiny_machine, fig1_ddg):
+        params = ACOParams(exploitation_prob=0.0)
+        result = SequentialACOScheduler(tiny_machine, params=params).schedule(
+            fig1_ddg, seed=3
+        )
+        validate_schedule(result.schedule, fig1_ddg, tiny_machine)
+
+    def test_full_exploitation_is_greedy_plus_pheromone(self, tiny_machine, fig1_ddg):
+        params = ACOParams(exploitation_prob=1.0)
+        result = SequentialACOScheduler(tiny_machine, params=params).schedule(
+            fig1_ddg, seed=3
+        )
+        validate_schedule(result.schedule, fig1_ddg, tiny_machine)
+
+    def test_single_block_launch(self, tiny_machine, fig1_ddg):
+        par = ParallelACOScheduler(
+            tiny_machine, gpu_params=GPUParams(blocks=1)
+        ).schedule(fig1_ddg, seed=3)
+        assert peak_pressure(par.schedule) == par.peak
+
+
+class TestLargeRegionSmoke:
+    def test_colony_handles_300_instructions(self, vega):
+        """One iteration over a large region: capacity bounds, buffers and
+        accounting all hold up at the suite's default size cap."""
+        from conftest import make_region
+
+        ddg = DDG(make_region("stencil", 3, 300))
+        data = RegionDeviceData(ddg, vega)
+        assert data.ready_capacity <= 300
+        params = ACOParams(max_iterations=1, termination_conditions=(1, 1, 1))
+        result = ParallelACOScheduler(
+            vega, params=params, gpu_params=GPUParams(blocks=1)
+        ).schedule(ddg, seed=0)
+        validate_schedule(result.schedule, ddg, vega)

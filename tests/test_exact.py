@@ -1,0 +1,118 @@
+"""Tests for the exact B&B solvers, plus ground-truth validation of the
+heuristic and ACO schedulers against certified optima on tiny regions."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.aco import SequentialACOScheduler
+from repro.config import ACOParams, GPUParams
+from repro.ddg import DDG, region_bounds
+from repro.exact import ExactLimits, min_length_schedule, min_pressure_order
+from repro.exact.bnb import ExactSolverError
+from repro.heuristics import AMDMaxOccupancyScheduler, CriticalPathHeuristic, list_schedule
+from repro.ir.registers import VGPR
+from repro.machine import amd_vega20, simple_test_target
+from repro.parallel import ParallelACOScheduler
+from repro.rp import peak_pressure, rp_cost
+from repro.schedule import Schedule, validate_schedule
+
+from conftest import ddgs, make_region
+
+
+class TestMinPressureOrder:
+    def test_figure1_optimum_is_3(self, fig1_ddg, tiny_machine):
+        order, cost = min_pressure_order(fig1_ddg, tiny_machine)
+        schedule = Schedule.from_order(fig1_ddg.region, order)
+        validate_schedule(schedule, fig1_ddg, respect_latencies=False)
+        assert peak_pressure(schedule)[VGPR] == 3
+        assert cost == rp_cost(peak_pressure(schedule), tiny_machine)
+
+    def test_matches_reported_cost(self, fig1_ddg, vega):
+        order, cost = min_pressure_order(fig1_ddg, vega)
+        schedule = Schedule.from_order(fig1_ddg.region, order)
+        assert rp_cost(peak_pressure(schedule), vega) == cost
+
+    def test_region_size_limit(self, vega):
+        ddg = DDG(make_region("transform", 1, 30))
+        with pytest.raises(ExactSolverError):
+            min_pressure_order(ddg, vega, ExactLimits(max_instructions=16))
+
+    @given(ddgs(max_size=9))
+    @settings(max_examples=15, deadline=None)
+    def test_no_order_beats_the_optimum(self, ddg):
+        """Exhaustive cross-check: greedy and ACO pass-1 costs are always
+        >= the certified optimum."""
+        machine = simple_test_target()
+        _order, optimum = min_pressure_order(ddg, machine)
+        amd = AMDMaxOccupancyScheduler(machine)
+        assert amd.rp_cost_of(amd.order_only(ddg)) >= optimum
+        result = SequentialACOScheduler(machine).schedule(ddg, seed=5)
+        assert rp_cost(result.peak, machine) >= optimum
+
+
+class TestMinLengthSchedule:
+    def test_figure1_unconstrained(self, fig1_ddg, tiny_machine):
+        schedule = min_length_schedule(fig1_ddg, tiny_machine)
+        validate_schedule(schedule, fig1_ddg, tiny_machine)
+        assert schedule.length == 8
+
+    def test_figure1_with_pressure_3(self, fig1_ddg, tiny_machine):
+        """The pass-2 optimum under the pass-1 pressure: one extra cycle."""
+        schedule = min_length_schedule(fig1_ddg, tiny_machine, {VGPR: 3})
+        validate_schedule(schedule, fig1_ddg, tiny_machine)
+        assert schedule.length == 9
+        assert peak_pressure(schedule)[VGPR] == 3
+
+    def test_tightening_pressure_never_shortens(self, fig1_ddg, tiny_machine):
+        loose = min_length_schedule(fig1_ddg, tiny_machine, {VGPR: 5})
+        tight = min_length_schedule(fig1_ddg, tiny_machine, {VGPR: 3})
+        assert tight.length >= loose.length
+
+    def test_infeasible_target(self, fig1_ddg, tiny_machine):
+        with pytest.raises(ExactSolverError):
+            min_length_schedule(fig1_ddg, tiny_machine, {VGPR: 1})
+
+    def test_respects_length_lower_bound(self, fig1_ddg, vega):
+        schedule = min_length_schedule(fig1_ddg, vega)
+        assert schedule.length >= region_bounds(fig1_ddg).length
+
+    @given(ddgs(max_size=9))
+    @settings(max_examples=10, deadline=None)
+    def test_greedy_never_beats_the_optimum(self, ddg):
+        machine = amd_vega20()
+        optimum = min_length_schedule(ddg, machine)
+        greedy = list_schedule(ddg, machine, heuristic=CriticalPathHeuristic())
+        assert greedy.length >= optimum.length
+
+    @given(ddgs(max_size=8))
+    @settings(max_examples=8, deadline=None)
+    def test_aco_never_beats_the_optimum(self, ddg):
+        """End-to-end sanity: ACO results are bounded by certified optima on
+        both objectives."""
+        machine = simple_test_target()
+        _order, rp_optimum = min_pressure_order(ddg, machine)
+        result = ParallelACOScheduler(
+            machine, gpu_params=GPUParams(blocks=1)
+        ).schedule(ddg, seed=2)
+        assert rp_cost(result.peak, machine) >= rp_optimum
+        target = machine.aprp(result.peak)
+        optimum = min_length_schedule(ddg, machine, dict(target))
+        assert result.length >= optimum.length
+
+
+class TestACOFindsOptimaOften:
+    """Not a guarantee, but the headline quality claim: on tiny regions the
+    colony should reach the certified optimum almost always."""
+
+    def test_pass1_optimality_rate(self, tiny_machine):
+        hits = 0
+        total = 8
+        for seed in range(total):
+            ddg = DDG(make_region("sort", seed, 9))
+            _order, optimum = min_pressure_order(ddg, tiny_machine)
+            result = ParallelACOScheduler(
+                tiny_machine, gpu_params=GPUParams(blocks=2)
+            ).schedule(ddg, seed=seed)
+            if rp_cost(result.peak, tiny_machine) == optimum:
+                hits += 1
+        assert hits >= total // 2

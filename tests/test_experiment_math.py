@@ -1,0 +1,131 @@
+"""Hand-checked numeric tests of the experiment-harness arithmetic.
+
+The smoke tests in test_experiments.py prove the harness *runs*; these
+prove the aggregations it reports are the right formulas, using tiny
+hand-constructed inputs where the expected numbers can be verified by eye.
+"""
+
+import pytest
+
+from repro.config import geometric_mean
+from repro.experiments.common import SpeedupRecord
+from repro.pipeline.stats import improvement_statistics, suite_statistics
+
+
+class TestSpeedupRecord:
+    def test_speedup_is_ratio(self):
+        record = SpeedupRecord("r", 30, 1, seq_seconds=6e-4, par_seconds=2e-4, iterations=2)
+        assert record.speedup == pytest.approx(3.0)
+
+    def test_size_class_buckets(self):
+        assert SpeedupRecord("r", 30, 1, 1, 1, 1).size_class == 0
+        assert SpeedupRecord("r", 50, 1, 1, 1, 1).size_class == 1
+        assert SpeedupRecord("r", 100, 1, 1, 1, 1).size_class == 2
+
+    def test_geomean_of_known_values(self):
+        speedups = [
+            SpeedupRecord("a", 10, 1, 2.0, 1.0, 1).speedup,  # 2
+            SpeedupRecord("b", 10, 1, 8.0, 1.0, 1).speedup,  # 8
+        ]
+        assert geometric_mean(speedups) == pytest.approx(4.0)
+
+
+class _Quality:
+    def __init__(self, occupancy, length, rp_cost=0):
+        self.occupancy = occupancy
+        self.length = length
+        self.rp_cost = rp_cost
+
+
+class _Outcome:
+    def __init__(self, heuristic, final, size=10, pass1=False, pass2=False):
+        self.heuristic = heuristic
+        self.final = final
+        self.size = size
+        self.pass1_processed = pass1
+        self.pass2_processed = pass2
+        self.region_name = "r"
+
+
+class _Kernel:
+    def __init__(self, outcomes):
+        self.regions = outcomes
+
+    @property
+    def heuristic_occupancy(self):
+        return min(o.heuristic.occupancy for o in self.regions)
+
+    @property
+    def final_occupancy(self):
+        return min(o.final.occupancy for o in self.regions)
+
+
+class _Run:
+    def __init__(self, kernels):
+        self.kernels = kernels
+
+    def all_regions(self):
+        for kernel in self.kernels:
+            for outcome in kernel.regions:
+                yield kernel, outcome
+
+
+class TestImprovementStatistics:
+    def test_occupancy_sum_formula(self):
+        # Kernel A: 8 -> 10 occupancy; kernel B unchanged at 10.
+        run = _Run([
+            _Kernel([_Outcome(_Quality(8, 100), _Quality(10, 100))]),
+            _Kernel([_Outcome(_Quality(10, 50), _Quality(10, 50))]),
+        ])
+        stats = improvement_statistics(run)
+        # (20 - 18) / 18 = 11.11%; max gain on a kernel = 25%.
+        assert stats.overall_occupancy_increase_pct == pytest.approx(100 * 2 / 18)
+        assert stats.max_occupancy_increase_pct == pytest.approx(25.0)
+
+    def test_length_reduction_formula(self):
+        run = _Run([
+            _Kernel([
+                _Outcome(_Quality(10, 100), _Quality(10, 80)),   # -20%
+                _Outcome(_Quality(10, 100), _Quality(10, 100)),  # unchanged
+            ]),
+        ])
+        stats = improvement_statistics(run)
+        assert stats.overall_length_reduction_pct == pytest.approx(10.0)  # 200->180
+        assert stats.max_length_reduction_pct == pytest.approx(20.0)
+
+    def test_pass_counts(self):
+        run = _Run([
+            _Kernel([
+                _Outcome(_Quality(10, 10), _Quality(10, 10), pass1=True, pass2=True),
+                _Outcome(_Quality(10, 10), _Quality(10, 10), pass2=True),
+            ]),
+        ])
+        stats = improvement_statistics(run)
+        assert stats.pass1_regions == 1
+        assert stats.pass2_regions == 2
+
+
+class TestSuiteStatistics:
+    def test_processed_sizes(self):
+        run = _Run([
+            _Kernel([
+                _Outcome(_Quality(10, 1), _Quality(10, 1), size=40, pass1=True, pass2=True),
+                _Outcome(_Quality(10, 1), _Quality(10, 1), size=80, pass2=True),
+                _Outcome(_Quality(10, 1), _Quality(10, 1), size=10),
+            ]),
+        ])
+        stats = suite_statistics(run, num_benchmarks=5)
+        assert stats.num_regions == 3
+        assert stats.pass1_regions == 1
+        assert stats.pass2_regions == 2
+        assert stats.avg_pass1_size == pytest.approx(40.0)
+        assert stats.avg_pass2_size == pytest.approx(60.0)
+        assert stats.max_pass2_size == 80
+
+    def test_empty_pass_sets(self):
+        run = _Run([
+            _Kernel([_Outcome(_Quality(10, 1), _Quality(10, 1))]),
+        ])
+        stats = suite_statistics(run, num_benchmarks=1)
+        assert stats.avg_pass1_size == 0.0
+        assert stats.max_pass1_size == 0

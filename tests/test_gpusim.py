@@ -1,0 +1,117 @@
+"""Tests for the SIMT cost-accounting simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GPUSimError
+from repro.gpusim import GPUDevice, KernelAccounting, TransferAccounting, reduction_cycles
+from repro.timing import GPUCostModel
+
+
+class TestGPUDevice:
+    def test_defaults_match_radeon_vii(self):
+        device = GPUDevice()
+        assert device.compute_units == 60
+        assert device.wavefront_size == 64
+        assert device.concurrent_wavefronts == 240
+
+    def test_batches(self):
+        device = GPUDevice()
+        assert device.batches(1) == 1
+        assert device.batches(180) == 1  # the paper's launch fits one batch
+        assert device.batches(240) == 1
+        assert device.batches(241) == 2
+
+    def test_validation(self):
+        with pytest.raises(GPUSimError):
+            GPUDevice(compute_units=0)
+        with pytest.raises(GPUSimError):
+            GPUDevice().batches(0)
+
+
+class TestKernelAccounting:
+    def _device(self, **overrides):
+        return GPUDevice(cost=GPUCostModel(**overrides))
+
+    def test_compute_charge(self):
+        device = self._device(cycles_per_op=2.0)
+        acc = KernelAccounting(device, 4, coalesced=True)
+        acc.charge_compute(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert acc.wavefront_cycles.tolist() == [2.0, 4.0, 6.0, 8.0]
+
+    def test_memory_coalescing_factor(self):
+        device = self._device(cycles_per_transaction=10.0, uncoalesced_factor=16.0)
+        soa = KernelAccounting(device, 1, coalesced=True)
+        aos = KernelAccounting(device, 1, coalesced=False)
+        soa.charge_memory(5.0)
+        aos.charge_memory(5.0)
+        assert aos.wavefront_cycles[0] == pytest.approx(16 * soa.wavefront_cycles[0])
+
+    def test_alloc_only_in_dynamic_mode(self):
+        device = self._device(alloc_cycles=100.0)
+        static = KernelAccounting(device, 1, coalesced=True, dynamic_alloc=False)
+        dynamic = KernelAccounting(device, 1, coalesced=True, dynamic_alloc=True)
+        static.charge_alloc(3.0)
+        dynamic.charge_alloc(3.0)
+        assert static.wavefront_cycles[0] == 0.0
+        assert dynamic.wavefront_cycles[0] == 300.0
+
+    def test_uniform_charge(self):
+        acc = KernelAccounting(self._device(), 3, coalesced=True)
+        acc.charge_uniform_cycles(7.0)
+        assert np.all(acc.wavefront_cycles == 7.0)
+
+    def test_kernel_seconds_is_max_within_batch(self):
+        device = self._device(clock_hz=1e9)
+        acc = KernelAccounting(device, 3, coalesced=True)
+        acc.wavefront_cycles[:] = [100.0, 500.0, 200.0]
+        assert acc.kernel_seconds() == pytest.approx(500.0 / 1e9)
+
+    def test_kernel_seconds_sums_batches(self):
+        device = GPUDevice(compute_units=1, simds_per_cu=1, cost=GPUCostModel(clock_hz=1e9))
+        acc = KernelAccounting(device, 2, coalesced=True)
+        acc.wavefront_cycles[:] = [100.0, 300.0]
+        assert acc.kernel_seconds() == pytest.approx(400.0 / 1e9)
+
+    def test_zero_wavefronts_rejected(self):
+        with pytest.raises(GPUSimError):
+            KernelAccounting(GPUDevice(), 0, coalesced=True)
+
+
+class TestTransferAccounting:
+    def test_batched_single_call(self):
+        device = GPUDevice(cost=GPUCostModel(per_copy_call=1e-6, copy_bandwidth=1e9))
+        transfer = TransferAccounting(device, batched=True)
+        for _ in range(10):
+            transfer.add_array(1000)
+        # 1 batched H2D call + 1 result copy-back + bytes.
+        assert transfer.seconds() == pytest.approx(2e-6 + 10_000 / 1e9)
+
+    def test_unbatched_pays_per_array(self):
+        device = GPUDevice(cost=GPUCostModel(per_copy_call=1e-6, copy_bandwidth=1e9))
+        batched = TransferAccounting(device, batched=True)
+        naive = TransferAccounting(device, batched=False)
+        for t in (batched, naive):
+            for _ in range(10):
+                t.add_array(1000)
+        assert naive.seconds() > batched.seconds()
+
+    def test_add_ndarray(self):
+        transfer = TransferAccounting(GPUDevice(), batched=True)
+        transfer.add_ndarray(np.zeros(16, dtype=np.int32))
+        assert transfer.total_bytes == 64
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(GPUSimError):
+            TransferAccounting(GPUDevice(), batched=True).add_array(-1)
+
+
+class TestReduction:
+    def test_zero_for_single_thread(self):
+        assert reduction_cycles(1, GPUCostModel()) == 0.0
+
+    def test_logarithmic(self):
+        cost = GPUCostModel()
+        small = reduction_cycles(64, cost)
+        big = reduction_cycles(64 * 64, cost)
+        assert big == pytest.approx(2 * small)

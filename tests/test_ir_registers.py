@@ -1,0 +1,86 @@
+"""Tests for repro.ir.registers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRError
+from repro.ir.registers import (
+    SGPR,
+    VGPR,
+    RegisterClass,
+    VirtualRegister,
+    register_class_by_prefix,
+    sreg,
+    vreg,
+)
+
+
+class TestRegisterClass:
+    def test_builtin_classes(self):
+        assert VGPR.name == "VGPR"
+        assert VGPR.prefix == "v"
+        assert SGPR.prefix == "s"
+
+    def test_lookup_by_prefix(self):
+        assert register_class_by_prefix("v") is VGPR
+        assert register_class_by_prefix("s") is SGPR
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(IRError):
+            register_class_by_prefix("x")
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(IRError):
+            RegisterClass("weird", "ab")
+        with pytest.raises(IRError):
+            RegisterClass("weird", "1")
+
+    def test_classes_are_ordered(self):
+        assert sorted([VGPR, SGPR]) == [SGPR, VGPR]
+
+    def test_str(self):
+        assert str(VGPR) == "VGPR"
+
+
+class TestVirtualRegister:
+    def test_str_roundtrip(self):
+        reg = VirtualRegister(VGPR, 12)
+        assert str(reg) == "v12"
+        assert VirtualRegister.parse("v12") == reg
+
+    def test_parse_sgpr(self):
+        assert VirtualRegister.parse("s3") == VirtualRegister(SGPR, 3)
+
+    def test_parse_strips_whitespace(self):
+        assert VirtualRegister.parse("  v7 ") == vreg(7)
+
+    @pytest.mark.parametrize("text", ["", "v", "x3", "vv", "v-1", "3"])
+    def test_parse_rejects_garbage(self, text):
+        with pytest.raises(IRError):
+            VirtualRegister.parse(text)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(IRError):
+            VirtualRegister(VGPR, -1)
+
+    def test_equality_is_by_value(self):
+        assert vreg(1) == vreg(1)
+        assert vreg(1) != sreg(1)
+        assert vreg(1) != vreg(2)
+
+    def test_usable_in_sets(self):
+        assert len({vreg(1), vreg(1), sreg(1)}) == 2
+
+    def test_ordering_is_deterministic(self):
+        regs = [vreg(2), sreg(9), vreg(0), sreg(1)]
+        assert sorted(regs) == [sreg(1), sreg(9), vreg(0), vreg(2)]
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_roundtrip_property(self, ident):
+        for make in (vreg, sreg):
+            reg = make(ident)
+            assert VirtualRegister.parse(str(reg)) == reg
+
+    def test_helpers(self):
+        assert vreg(4).reg_class is VGPR
+        assert sreg(4).reg_class is SGPR

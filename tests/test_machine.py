@@ -1,0 +1,112 @@
+"""Tests for repro.machine: occupancy tables, APRP and the targets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineModelError
+from repro.ir.registers import SGPR, VGPR
+from repro.machine import MachineModel, OccupancyTable, amd_vega20, simple_test_target
+
+
+class TestOccupancyTable:
+    def test_paper_example(self):
+        """Section II-A: PRP <= 24 VGPRs -> occupancy 10; [25, 28] -> 9."""
+        table = amd_vega20().table_for(VGPR)
+        assert table.occupancy(1) == 10
+        assert table.occupancy(24) == 10
+        assert table.occupancy(25) == 9
+        assert table.occupancy(28) == 9
+        assert table.occupancy(29) == 8
+
+    def test_paper_aprp_example(self):
+        table = amd_vega20().table_for(VGPR)
+        for prp in range(1, 25):
+            assert table.aprp(prp) == 24
+        for prp in range(25, 29):
+            assert table.aprp(prp) == 28
+
+    def test_over_budget(self):
+        table = OccupancyTable([(4, 2), (8, 1)])
+        assert table.occupancy(9) == 0
+        assert table.aprp(9) == 9  # own value: stays monotone past the table
+
+    def test_validation(self):
+        with pytest.raises(MachineModelError):
+            OccupancyTable([])
+        with pytest.raises(MachineModelError):
+            OccupancyTable([(4, 2), (3, 1)])  # non-increasing pressure
+        with pytest.raises(MachineModelError):
+            OccupancyTable([(4, 2), (8, 2)])  # non-decreasing occupancy
+        with pytest.raises(MachineModelError):
+            OccupancyTable([(4, 0)])  # zero occupancy
+        with pytest.raises(MachineModelError):
+            OccupancyTable([(0, 4)])  # zero pressure
+        with pytest.raises(MachineModelError):
+            OccupancyTable([(4, 2)]).occupancy(-1)
+
+    def test_properties(self):
+        table = OccupancyTable([(4, 3), (6, 2), (8, 1)])
+        assert table.max_occupancy == 3
+        assert table.max_pressure == 8
+
+    @given(st.integers(min_value=0, max_value=300))
+    def test_aprp_invariants(self, pressure):
+        """APRP is idempotent and occupancy-preserving (its defining
+        properties), and never below the pressure it adjusts."""
+        table = amd_vega20().table_for(VGPR)
+        adjusted = table.aprp(pressure)
+        assert adjusted >= pressure
+        assert table.aprp(adjusted) == adjusted
+        assert table.occupancy(adjusted) == table.occupancy(pressure)
+
+    @given(st.integers(min_value=0, max_value=299))
+    def test_occupancy_monotone(self, pressure):
+        table = amd_vega20().table_for(VGPR)
+        assert table.occupancy(pressure) >= table.occupancy(pressure + 1)
+
+
+class TestMachineModel:
+    def test_vega_shape(self):
+        vega = amd_vega20()
+        assert vega.issue_width == 1
+        assert vega.wavefront_size == 64
+        assert vega.max_occupancy == 10
+        assert set(vega.classes()) == {VGPR, SGPR}
+
+    def test_occupancy_is_min_across_classes(self):
+        vega = amd_vega20()
+        assert vega.occupancy_for_pressure({VGPR: 24, SGPR: 16}) == 10
+        assert vega.occupancy_for_pressure({VGPR: 25, SGPR: 16}) == 9
+        assert vega.occupancy_for_pressure({VGPR: 10, SGPR: 200}) < 10
+
+    def test_missing_class_means_zero_pressure(self):
+        vega = amd_vega20()
+        assert vega.occupancy_for_pressure({}) == 10
+
+    def test_aprp_dict(self):
+        vega = amd_vega20()
+        aprp = vega.aprp({VGPR: 20})
+        assert aprp[VGPR] == 24
+        assert SGPR in aprp
+
+    def test_table_for_unknown_class_raises(self):
+        tiny = MachineModel("t", {VGPR: OccupancyTable([(4, 1)])})
+        with pytest.raises(MachineModelError):
+            tiny.table_for(SGPR)
+
+    def test_validation(self):
+        with pytest.raises(MachineModelError):
+            MachineModel("bad", {VGPR: OccupancyTable([(4, 1)])}, issue_width=0)
+        with pytest.raises(MachineModelError):
+            MachineModel("bad", {})
+
+    def test_simple_test_target(self):
+        tiny = simple_test_target()
+        assert tiny.max_occupancy == 4
+        assert tiny.occupancy_for_pressure({VGPR: 3}) == 4
+        assert tiny.occupancy_for_pressure({VGPR: 4}) == 3
+
+    def test_sgpr_table_has_sane_top(self):
+        table = amd_vega20().table_for(SGPR)
+        assert table.occupancy(80) == 10
+        assert table.max_pressure == 800

@@ -1,0 +1,124 @@
+"""Regression guards on the paper's headline *shape* claims.
+
+These tests run the shared test-scale experiment context and assert the
+qualitative results the reproduction exists to show. If a refactor or a
+recalibration breaks one of these, the repository no longer reproduces the
+paper — unit tests alone would not catch that.
+"""
+
+import pytest
+
+from repro.config import geometric_mean
+from repro.experiments import SCALES
+from repro.experiments.common import ExperimentContext, thresholded_compile_seconds
+from repro.pipeline import improvement_statistics
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(SCALES["test"])
+
+
+class TestQualityClaims:
+    """Section VI-B: ACO gives significantly better schedules than AMD's."""
+
+    def test_aco_never_hurts_kernel_occupancy(self, context):
+        stats = improvement_statistics(context.run("parallel"))
+        assert stats.overall_occupancy_increase_pct >= 0.0
+
+    def test_aco_improves_something(self, context):
+        stats = improvement_statistics(context.run("parallel"))
+        assert (
+            stats.overall_occupancy_increase_pct > 0.0
+            or stats.overall_length_reduction_pct > 0.0
+        )
+
+    def test_every_shipped_schedule_is_pareto_sane(self, context):
+        """The shipped schedule is never strictly worse than the heuristic
+        on both objectives (the post-scheduling filter's contract)."""
+        for _kernel, outcome in context.run("parallel").all_regions():
+            worse_occ = outcome.final.occupancy < outcome.heuristic.occupancy
+            worse_len = outcome.final.length > outcome.heuristic.length
+            assert not (worse_occ and worse_len)
+
+
+class TestSpeedupClaims:
+    """Section VI-C: parallelization wins, and wins more on big regions."""
+
+    def test_large_regions_speed_up(self, context):
+        records = context.speedup_records()
+        big = [r.speedup for r in records if r.size - 0 >= context.scale.large_region_floor]
+        if big:
+            assert geometric_mean(big) > 2.0
+
+    def test_speedup_grows_with_size(self, context):
+        records = context.speedup_records()
+        small = [r.speedup for r in records if r.size < 50]
+        large = [r.speedup for r in records if r.size >= 50]
+        if small and large:
+            assert geometric_mean(large) > geometric_mean(small)
+
+    def test_some_small_regions_lose(self, context):
+        """The launch/copy overhead must be visible: the minimum pass-2
+        speedup on small regions sits near or below 1x (paper min 0.45)."""
+        records = [
+            r for r in context.speedup_records() if r.pass_index == 2 and r.size < 50
+        ]
+        if len(records) >= 5:
+            assert min(r.speedup for r in records) < 1.5
+
+
+class TestCompileTimeClaims:
+    """Section VI-D / Table 5."""
+
+    def test_parallel_cheaper_than_sequential(self, context):
+        seq = thresholded_compile_seconds(context, context.run("sequential"), 21)
+        par = thresholded_compile_seconds(context, context.run("parallel"), 21)
+        assert par < seq
+
+    def test_both_cost_more_than_baseline(self, context):
+        base = context.run("baseline").total_seconds
+        seq = thresholded_compile_seconds(context, context.run("sequential"), 21)
+        assert seq > base
+
+
+class TestOptimizationClaims:
+    """Section V / Tables 4.a, 4.b: memory opts are worth multiples,
+    divergence opts are worth fractions."""
+
+    def test_memory_optimizations_dominate(self, context):
+        from repro.ddg import DDG
+        from conftest import make_region
+
+        scheduler_on = context.parallel_scheduler()
+        scheduler_off = context.parallel_scheduler(
+            gpu=context.scale.gpu.without_memory_opts()
+        )
+        ddg = DDG(make_region("reduce", 7, 80))
+        on = scheduler_on.schedule(ddg, seed=1)
+        off = scheduler_off.schedule(ddg, seed=1)
+        if on.pass2.invoked:
+            assert off.pass2.kernel_seconds > 3 * on.pass2.kernel_seconds
+            # And the search itself is identical (pure cost-model toggles).
+            assert off.schedule == on.schedule
+
+
+class TestCostFunctionClaim:
+    """Section II-A: two-pass beats weighted-sum on occupancy (GPU)."""
+
+    def test_two_pass_occupancy_at_least_weighted(self, context):
+        from repro.aco import SequentialACOScheduler, WeightedSumACOScheduler
+        from repro.ddg import DDG
+        from conftest import make_region
+
+        machine = context.machine
+        two_pass_occ = weighted_occ = 0
+        for seed in range(3):
+            ddg = DDG(make_region("reduce", seed, 60))
+            tp = SequentialACOScheduler(machine).schedule(ddg, seed=seed)
+            ws = WeightedSumACOScheduler(machine, pressure_weight=0.001).schedule(
+                ddg, seed=seed
+            )
+            two_pass_occ += machine.occupancy_for_pressure(tp.peak)
+            weighted_occ += machine.occupancy_for_pressure(ws.peak)
+        assert two_pass_occ >= weighted_occ

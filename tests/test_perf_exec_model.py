@@ -1,0 +1,121 @@
+"""Tests for the benchmark execution model."""
+
+import pytest
+
+from repro.aco import SequentialACOScheduler
+from repro.config import FilterParams, SuiteParams
+from repro.machine import amd_vega20
+from repro.perf import BenchmarkResult, ExecutionModel, benchmark_results, sensitive_benchmarks
+from repro.pipeline import CompilePipeline
+from repro.suite import generate_suite
+
+
+@pytest.fixture(scope="module")
+def setup():
+    machine = amd_vega20()
+    suite = generate_suite(
+        SuiteParams(num_benchmarks=8, num_kernels=6, regions_per_kernel=3),
+        max_region_size=80,
+    )
+    run = CompilePipeline(
+        machine,
+        scheduler=SequentialACOScheduler(machine),
+        filters=FilterParams(cycle_threshold=0),
+    ).compile_suite(suite)
+    baseline = CompilePipeline(machine, scheduler=None).compile_suite(suite)
+    return machine, suite, run, baseline
+
+
+class TestExecutionModel:
+    def test_occupancy_helps_memory_bound_kernels(self, setup):
+        _machine, suite, run, _baseline = setup
+        model = ExecutionModel(unmodeled_noise=0.0)
+        kernel = run.kernels[0]
+
+        def low_occ(outcome):
+            class Q:
+                occupancy = 2
+                length = outcome.final.length
+            return Q
+
+        def high_occ(outcome):
+            class Q:
+                occupancy = 10
+                length = outcome.final.length
+            return Q
+
+        assert model.kernel_time_factor(kernel, low_occ) > model.kernel_time_factor(
+            kernel, high_occ
+        )
+
+    def test_length_increase_slows(self, setup):
+        _machine, _suite, run, _baseline = setup
+        model = ExecutionModel(unmodeled_noise=0.0)
+        kernel = run.kernels[0]
+
+        def stretched(outcome):
+            class Q:
+                occupancy = outcome.final.occupancy
+                length = outcome.final.length * 2
+            return Q
+
+        base = model.kernel_time_factor(kernel, lambda r: r.final)
+        assert model.kernel_time_factor(kernel, stretched) == pytest.approx(2 * base)
+
+    def test_throughput_positive_and_ratio_scale_free(self, setup):
+        _machine, suite, run, _baseline = setup
+        model = ExecutionModel(unmodeled_noise=0.0)
+        results = benchmark_results(suite, run, model)
+        assert len(results) == len(suite.benchmarks)
+        for r in results:
+            assert r.base_throughput > 0
+            assert r.aco_throughput > 0
+
+    def test_identical_schedules_have_zero_improvement(self, setup):
+        _machine, suite, _run, baseline = setup
+        model = ExecutionModel()
+        results = benchmark_results(suite, baseline, model)
+        for r in results:
+            # baseline run: final == heuristic everywhere.
+            assert r.improvement_pct == pytest.approx(0.0)
+
+    def test_jitter_is_deterministic(self, setup):
+        _machine, suite, run, _baseline = setup
+        model = ExecutionModel(unmodeled_noise=0.05)
+        a = benchmark_results(suite, run, model)
+        b = benchmark_results(suite, run, model)
+        assert [r.aco_throughput for r in a] == [r.aco_throughput for r in b]
+
+    def test_jitter_bounded(self, setup):
+        _machine, suite, run, _baseline = setup
+        noisy = ExecutionModel(unmodeled_noise=0.05)
+        clean = ExecutionModel(unmodeled_noise=0.0)
+        for rn, rc in zip(
+            benchmark_results(suite, run, noisy), benchmark_results(suite, run, clean)
+        ):
+            assert abs(rn.aco_throughput / rc.aco_throughput - 1.0) <= 0.06
+
+    def test_significance_cut(self):
+        result = BenchmarkResult("b", "k", base_throughput=100.0, aco_throughput=100.5)
+        assert not result.significant
+        result = BenchmarkResult("b", "k", base_throughput=100.0, aco_throughput=102.0)
+        assert result.significant
+        assert result.improvement_pct == pytest.approx(2.0)
+
+
+class TestSensitivity:
+    def test_identical_runs_are_insensitive(self, setup):
+        _machine, suite, _run, baseline = setup
+        sensitive = sensitive_benchmarks(suite, [baseline, baseline, baseline])
+        assert sensitive == []
+
+    def test_differing_runs_detect_sensitivity(self, setup):
+        machine, suite, run, baseline = setup
+        from repro.heuristics.cp_scheduler import CriticalPathListScheduler
+
+        cp_run = CompilePipeline(
+            machine, scheduler=None, baseline=CriticalPathListScheduler(machine)
+        ).compile_suite(suite)
+        sensitive = sensitive_benchmarks(suite, [baseline, run, cp_run])
+        assert len(sensitive) >= 1
+        assert len(sensitive) <= len(suite.benchmarks)

@@ -1,0 +1,202 @@
+"""Tests for repro.rp: the tracker, liveness and the cost functions."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ddg import DDG, region_bounds
+from repro.heuristics import LastUseCountHeuristic, order_schedule
+from repro.ir.builder import RegionBuilder, figure1_region
+from repro.ir.registers import SGPR, VGPR
+from repro.machine import amd_vega20, simple_test_target
+from repro.rp import (
+    PressureTracker,
+    evaluate_schedule,
+    peak_pressure,
+    pressure_profile,
+    rp_cost,
+    rp_cost_lower_bound,
+)
+from repro.rp.cost import OCCUPANCY_WEIGHT
+from repro.schedule import Schedule
+
+from conftest import regions
+
+
+class TestTrackerFigure1:
+    """The paper's Figure 1 PRP walk-through, exactly."""
+
+    def test_ant1_prp_4(self, fig1_region):
+        schedule = Schedule.from_order(fig1_region, [0, 1, 2, 3, 4, 5, 6])
+        assert peak_pressure(schedule)[VGPR] == 4
+
+    def test_ant2_prp_3(self, fig1_region):
+        # C D F A B E G: F closes C's and D's ranges (kill-before-def).
+        schedule = Schedule.from_order(fig1_region, [2, 3, 5, 0, 1, 4, 6])
+        assert peak_pressure(schedule)[VGPR] == 3
+
+    def test_profile_matches_narrative(self, fig1_region):
+        schedule = Schedule.from_order(fig1_region, [2, 3, 5, 0, 1, 4, 6])
+        profile = pressure_profile(fig1_region and schedule)[VGPR]
+        # After C, D, F, A, B, E, G.
+        assert profile == [1, 2, 1, 2, 3, 2, 1]
+
+
+class TestTrackerMechanics:
+    def test_live_in_counts_from_start(self):
+        b = RegionBuilder("li")
+        b.inst("op1", defs=["v1"], uses=["v0"])
+        region = b.build()
+        tracker = PressureTracker(region)
+        assert tracker.current[VGPR] == 1  # v0 live-in
+
+    def test_live_out_never_dies(self):
+        b = RegionBuilder("lo")
+        b.inst("op1", defs=["v0"])
+        b.inst("op1", defs=["v1"], uses=["v0"])
+        region = b.live_out("v0", "v1").build()
+        tracker = PressureTracker(region)
+        tracker.schedule(region[0])
+        tracker.schedule(region[1])  # v0's last use, but v0 is live-out
+        assert tracker.current[VGPR] == 2
+        assert set(tracker.live_registers()) == set(region.live_out)
+
+    def test_dead_def_counts_toward_peak_then_dies(self):
+        b = RegionBuilder("dd")
+        b.inst("op1", defs=["v0"])
+        b.inst("op1", defs=["v1"])  # v1 never used, not live-out
+        region = b.live_out("v0").build()
+        tracker = PressureTracker(region)
+        tracker.schedule(region[0])
+        tracker.schedule(region[1])
+        assert tracker.peak[VGPR] == 2  # dead def was momentarily live
+        assert tracker.current[VGPR] == 1
+
+    def test_kill_before_def_allows_register_reuse(self):
+        b = RegionBuilder("kbd")
+        b.inst("op1", defs=["v0"])
+        b.inst("op1", defs=["v1"], uses=["v0"])  # v0 dies here, v1 opens
+        region = b.live_out("v1").build()
+        tracker = PressureTracker(region)
+        tracker.schedule(region[0])
+        tracker.schedule(region[1])
+        assert tracker.peak[VGPR] == 1
+
+    def test_use_in_own_defs_survives(self):
+        b = RegionBuilder("acc")
+        b.inst("op1", defs=["v0"])
+        b.inst("op1", defs=["v0"], uses=["v0"])  # accumulate in place
+        region = b.live_out("v0").build()
+        tracker = PressureTracker(region)
+        tracker.schedule(region[0])
+        tracker.schedule(region[1])
+        assert tracker.current[VGPR] == 1
+        assert tracker.peak[VGPR] == 1
+
+    def test_reset(self, fig1_region):
+        tracker = PressureTracker(fig1_region)
+        for inst in fig1_region:
+            tracker.schedule(inst)
+        tracker.reset()
+        assert tracker.current[VGPR] == 0
+        assert tracker.peak[VGPR] == 0
+
+    def test_preview_matches_commit(self, fig1_region):
+        """pressure_if_scheduled must agree with actually scheduling.
+
+        Figure 1 has no dead defs, so the at-issue preview and the
+        post-instruction pressure coincide exactly.
+        """
+        tracker = PressureTracker(fig1_region)
+        for inst in fig1_region:  # program order is legal
+            preview = tracker.pressure_if_scheduled(inst)
+            tracker.schedule(inst)
+            assert tracker.current == preview
+
+    @given(regions())
+    @settings(max_examples=40, deadline=None)
+    def test_preview_brackets_commit_property(self, region):
+        """The preview is the at-issue pressure: at least the committed
+        between-instruction pressure (dead defs die right after the sample)
+        and never above the running peak."""
+        tracker = PressureTracker(region)
+        for inst in region:
+            preview = tracker.pressure_if_scheduled(inst)
+            dead_defs = {
+                cls: sum(
+                    1
+                    for reg in inst.defs
+                    if reg.reg_class is cls
+                    and reg not in region.live_out
+                    and not any(other.reads(reg) for other in region)
+                )
+                for cls in tracker.classes
+            }
+            tracker.schedule(inst)
+            for cls, value in tracker.current.items():
+                assert preview.get(cls, 0) == value + dead_defs.get(cls, 0)
+                assert tracker.peak[cls] >= preview.get(cls, 0)
+
+    def test_closes_ranges(self, fig1_region):
+        tracker = PressureTracker(fig1_region)
+        by_label = {i.label: i for i in fig1_region}
+        tracker.schedule(by_label["C"])
+        tracker.schedule(by_label["D"])
+        assert tracker.closes_ranges(by_label["F"]) == 2
+
+    def test_live_registers(self, fig1_region):
+        tracker = PressureTracker(fig1_region)
+        tracker.schedule(fig1_region[0])
+        assert len(tuple(tracker.live_registers())) == 1
+
+
+class TestPeakInvariance:
+    @given(regions())
+    @settings(max_examples=30, deadline=None)
+    def test_peak_depends_only_on_order(self, region):
+        """Inserting stalls never changes pressure."""
+        ddg = DDG(region)
+        schedule = order_schedule(ddg, heuristic=LastUseCountHeuristic())
+        stretched = Schedule(
+            region, [c * 3 for c in schedule.cycles]
+        )  # same order, stalls everywhere
+        assert peak_pressure(schedule) == peak_pressure(stretched)
+
+
+class TestCost:
+    def test_occupancy_dominates(self):
+        vega = amd_vega20()
+        low_occ = rp_cost({VGPR: 30}, vega)  # occupancy 8
+        high_occ = rp_cost({VGPR: 24}, vega)  # occupancy 10
+        assert low_occ - high_occ >= OCCUPANCY_WEIGHT
+
+    def test_same_occupancy_compares_equal_via_aprp(self):
+        vega = amd_vega20()
+        assert rp_cost({VGPR: 3}, vega) == rp_cost({VGPR: 24}, vega)
+
+    def test_lower_bound_is_sound(self, fig1_ddg):
+        tiny = simple_test_target()
+        bounds = region_bounds(fig1_ddg)
+        lb = rp_cost_lower_bound(bounds, tiny)
+        for order in ([0, 1, 2, 3, 4, 5, 6], [2, 3, 5, 0, 1, 4, 6]):
+            schedule = Schedule.from_order(fig1_ddg.region, order)
+            assert rp_cost(peak_pressure(schedule), tiny) >= lb
+
+    def test_evaluate_schedule(self, fig1_region):
+        vega = amd_vega20()
+        schedule = Schedule.from_order(fig1_region, [2, 3, 5, 0, 1, 4, 6])
+        quality = evaluate_schedule(schedule, vega)
+        assert quality.length == 7
+        assert quality.pressure_dict[VGPR] == 3
+        assert quality.occupancy == 10
+        assert quality.aprp_dict[VGPR] == 24
+
+    def test_dominates(self, fig1_region):
+        vega = amd_vega20()
+        good = evaluate_schedule(
+            Schedule.from_order(fig1_region, [2, 3, 5, 0, 1, 4, 6]), vega
+        )
+        bad = evaluate_schedule(
+            Schedule(fig1_region, [0, 1, 2, 3, 8, 9, 10]), vega
+        )
+        assert good.dominates(bad)
+        assert not bad.dominates(good)

@@ -1,0 +1,140 @@
+"""Tests for the synthetic benchmark-suite generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SuiteParams
+from repro.ddg import DDG
+from repro.suite import PATTERN_NAMES, generate_suite, pattern_region, random_region
+from repro.suite.patterns import RegionShape
+from repro.suite.rng import derive_seed, derived_rng
+
+
+class TestRNG:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_derive_seed_varies_by_identity(self):
+        assert derive_seed(7, "a", 1) != derive_seed(7, "a", 2)
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_derived_rng_streams_independent(self):
+        a = derived_rng(7, "x")
+        b = derived_rng(7, "y")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("pattern", PATTERN_NAMES)
+    @pytest.mark.parametrize("size", [1, 2, 5, 17, 64])
+    def test_exact_size(self, pattern, size):
+        region = pattern_region(pattern, random.Random(3), size)
+        assert region.size == size
+
+    @pytest.mark.parametrize("pattern", PATTERN_NAMES)
+    def test_ddg_buildable(self, pattern):
+        region = pattern_region(pattern, random.Random(5), 40)
+        ddg = DDG(region)
+        assert ddg.num_instructions == 40
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            pattern_region("bogus", random.Random(0), 10)
+
+    def test_deterministic_in_rng(self):
+        a = pattern_region("transform", random.Random(9), 30)
+        b = pattern_region("transform", random.Random(9), 30)
+        assert a == b
+
+    def test_scan_is_more_serial_than_reduce(self):
+        """The scan pattern has a longer critical chain (lower ILP) than the
+        reduce pattern at the same size."""
+        from repro.ddg import critical_path_info
+
+        scan_ddg = DDG(pattern_region("scan", random.Random(2), 50))
+        reduce_ddg = DDG(pattern_region("reduce", random.Random(2), 50))
+        assert len(scan_ddg.roots) < len(reduce_ddg.roots) / 2
+        assert critical_path_info(scan_ddg).critical_path_length >= 30
+
+    def test_reduce_has_wide_front(self):
+        """The reduce pattern opens many independent loads."""
+        region = pattern_region("reduce", random.Random(2), 40)
+        ddg = DDG(region)
+        assert len(ddg.roots) >= 10
+
+    def test_gemm_tile_pins_accumulators(self):
+        region = pattern_region("gemm_tile", random.Random(2), 60)
+        assert len(region.live_out) >= 4
+
+    def test_random_region_shape_knobs(self):
+        serial = random_region(
+            random.Random(1), 40, RegionShape(chain_bias=1.0, load_fraction=0.05)
+        )
+        wide = random_region(
+            random.Random(1), 40, RegionShape(chain_bias=0.0, load_fraction=0.7)
+        )
+        assert len(DDG(wide).roots) > len(DDG(serial).roots)
+
+    @given(st.integers(min_value=1, max_value=120), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=30)
+    def test_all_patterns_all_sizes(self, size, seed):
+        for pattern in PATTERN_NAMES:
+            region = pattern_region(pattern, random.Random(seed), size)
+            assert region.size == size
+
+
+class TestGenerateSuite:
+    def test_shape(self):
+        params = SuiteParams(num_benchmarks=10, num_kernels=5, regions_per_kernel=4)
+        suite = generate_suite(params, max_region_size=100)
+        assert len(suite.kernels) == 5
+        assert len(suite.benchmarks) == 10
+        assert suite.num_regions == 20
+        for kernel in suite.kernels:
+            assert all(r.size <= 100 for r in kernel.regions)
+            assert sum(kernel.region_weights) == pytest.approx(1.0)
+            assert 0.4 <= kernel.memory_intensity <= 2.8
+
+    def test_benchmarks_reference_kernels(self):
+        suite = generate_suite(
+            SuiteParams(num_benchmarks=7, num_kernels=3, regions_per_kernel=2)
+        )
+        for benchmark in suite.benchmarks:
+            assert suite.kernel(benchmark.kernel_name) is not None
+            assert benchmark.workload_bytes > 0
+
+    def test_deterministic(self):
+        params = SuiteParams(num_benchmarks=4, num_kernels=3, regions_per_kernel=2, seed=11)
+        a = generate_suite(params)
+        b = generate_suite(params)
+        for ka, kb in zip(a.kernels, b.kernels):
+            assert ka.regions == kb.regions
+            assert ka.memory_intensity == kb.memory_intensity
+
+    def test_seed_changes_content(self):
+        a = generate_suite(SuiteParams(num_benchmarks=2, num_kernels=2, regions_per_kernel=2, seed=1))
+        b = generate_suite(SuiteParams(num_benchmarks=2, num_kernels=2, regions_per_kernel=2, seed=2))
+        assert any(ka.regions != kb.regions for ka, kb in zip(a.kernels, b.kernels))
+
+    def test_hot_regions_are_large(self):
+        suite = generate_suite(
+            SuiteParams(num_benchmarks=2, num_kernels=4, regions_per_kernel=6)
+        )
+        for kernel in suite.kernels:
+            hottest = max(
+                range(len(kernel.regions)), key=lambda i: kernel.region_weights[i]
+            )
+            biggest = max(range(len(kernel.regions)), key=lambda i: len(kernel.regions[i]))
+            assert hottest == biggest
+
+    def test_size_distribution_has_tail(self):
+        suite = generate_suite(
+            SuiteParams(num_benchmarks=2, num_kernels=40, regions_per_kernel=10),
+            max_region_size=1200,
+        )
+        sizes = [r.size for _k, r in suite.all_regions()]
+        assert min(sizes) >= 4
+        assert sum(1 for s in sizes if s <= 30) > len(sizes) * 0.35
+        assert max(sizes) > 150

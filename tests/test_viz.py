@@ -1,0 +1,93 @@
+"""Tests for the visualization/tooling helpers."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ddg import DDG
+from repro.heuristics import CriticalPathHeuristic, list_schedule
+from repro.ir.registers import VGPR
+from repro.machine import amd_vega20
+from repro.schedule import Schedule
+from repro.viz import compare_schedules, ddg_to_dot, pressure_sparkline, schedule_timeline
+
+from conftest import ddgs
+
+
+class TestDot:
+    def test_structure(self, fig1_ddg):
+        dot = ddg_to_dot(fig1_ddg)
+        assert dot.startswith('digraph "figure1"')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == len(fig1_ddg.edges)
+        for inst in fig1_ddg.region:
+            assert "n%d [" % inst.index in dot
+            assert inst.label in dot
+
+    def test_critical_path_highlighted(self, fig1_ddg):
+        dot = ddg_to_dot(fig1_ddg)
+        assert "lightcoral" in dot  # C -> F -> G are critical
+        plain = ddg_to_dot(fig1_ddg, highlight_critical_path=False)
+        assert "lightcoral" not in plain
+
+    def test_latency_labels(self, fig1_ddg):
+        dot = ddg_to_dot(fig1_ddg)
+        assert 'label="5"' in dot  # C's latency
+
+    @given(ddgs(max_size=20))
+    @settings(max_examples=15, deadline=None)
+    def test_always_well_formed(self, ddg):
+        dot = ddg_to_dot(ddg)
+        assert dot.count("{") == dot.count("}")
+        assert dot.count("[") == dot.count("]")
+
+
+class TestTimeline:
+    def test_marks_issue_and_shadow(self, fig1_ddg, vega):
+        schedule = list_schedule(fig1_ddg, vega, heuristic=CriticalPathHeuristic())
+        text = schedule_timeline(schedule)
+        assert "figure1" in text
+        assert text.count("#") == 7  # one issue mark per instruction
+        assert "-" in text  # latency shadows visible
+
+    def test_downsampling(self, fig1_region):
+        schedule = Schedule(fig1_region, [0, 1, 2, 3, 500, 501, 502])
+        text = schedule_timeline(schedule, width=40)
+        assert "cycle(s)/column" in text
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) <= 41
+
+
+class TestSparkline:
+    def test_reflects_peak(self, fig1_region):
+        ant1 = Schedule.from_order(fig1_region, [0, 1, 2, 3, 4, 5, 6])
+        text = pressure_sparkline(ant1, VGPR)
+        assert "peak 4" in text
+        assert "@" in text  # the peak hits the top level
+
+    def test_defaults_to_hottest_class(self, fig1_region):
+        schedule = Schedule.from_order(fig1_region, [0, 1, 2, 3, 4, 5, 6])
+        assert "VGPR" in pressure_sparkline(schedule)
+
+    def test_downsamples_long_profiles(self):
+        from conftest import make_region
+
+        region = make_region("transform", 5, 200)
+        schedule = Schedule.from_order(region, list(range(200)))
+        text = pressure_sparkline(schedule, width=50)
+        assert "slot(s)/char" in text
+
+
+class TestCompare:
+    def test_summary(self, fig1_region):
+        a = Schedule.from_order(fig1_region, [0, 1, 2, 3, 4, 5, 6])
+        b = Schedule.from_order(fig1_region, [2, 3, 5, 0, 1, 4, 6])
+        text = compare_schedules(a, b, names=("ant1", "ant2"))
+        assert "VGPR peak" in text
+        assert "(-)" in text  # ant2's peak is lower
+
+    def test_rejects_mismatched_regions(self, fig1_region, chain_region):
+        a = Schedule.from_order(fig1_region, [0, 1, 2, 3, 4, 5, 6])
+        b = Schedule.from_order(chain_region, [0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            compare_schedules(a, b)

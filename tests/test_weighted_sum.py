@@ -1,0 +1,63 @@
+"""Tests for the weighted-sum (single-pass) ACO variant."""
+
+import pytest
+
+from repro.aco import SequentialACOScheduler, WeightedSumACOScheduler
+from repro.ddg import DDG
+from repro.ir.registers import VGPR
+from repro.machine import simple_test_target
+from repro.rp import peak_pressure
+from repro.schedule import validate_schedule
+
+from conftest import make_region
+
+
+class TestWeightedSum:
+    def test_zero_weight_is_pure_ilp(self, fig1_ddg, tiny_machine):
+        result = WeightedSumACOScheduler(tiny_machine, pressure_weight=0.0).schedule(
+            fig1_ddg, seed=2
+        )
+        validate_schedule(result.schedule, fig1_ddg, tiny_machine)
+        assert result.length == 8  # the unconstrained optimum
+
+    def test_positive_weight_buys_pressure(self, fig1_ddg, tiny_machine):
+        result = WeightedSumACOScheduler(tiny_machine, pressure_weight=0.001).schedule(
+            fig1_ddg, seed=2
+        )
+        validate_schedule(result.schedule, fig1_ddg, tiny_machine)
+        assert result.peak[VGPR] == 3
+        assert result.length == 9
+
+    def test_matches_two_pass_on_figure1(self, fig1_ddg, tiny_machine):
+        weighted = WeightedSumACOScheduler(tiny_machine, pressure_weight=0.001).schedule(
+            fig1_ddg, seed=2
+        )
+        two_pass = SequentialACOScheduler(tiny_machine).schedule(fig1_ddg, seed=2)
+        assert weighted.peak[VGPR] == two_pass.peak[VGPR]
+        assert weighted.length == two_pass.length
+
+    def test_reported_peak_consistent(self, tiny_machine):
+        ddg = DDG(make_region("reduce", 4, 25))
+        result = WeightedSumACOScheduler(tiny_machine, pressure_weight=0.01).schedule(
+            ddg, seed=1
+        )
+        assert result.peak == peak_pressure(result.schedule)
+        validate_schedule(result.schedule, ddg, tiny_machine)
+
+    def test_negative_weight_rejected(self, tiny_machine):
+        with pytest.raises(ValueError):
+            WeightedSumACOScheduler(tiny_machine, pressure_weight=-1.0)
+
+    def test_trace_and_accounting(self, fig1_ddg, tiny_machine):
+        result = WeightedSumACOScheduler(tiny_machine, pressure_weight=0.001).schedule(
+            fig1_ddg, seed=2
+        )
+        assert result.result.invoked
+        assert len(result.result.trace) == result.result.iterations
+        assert result.seconds > 0
+
+    def test_deterministic(self, tiny_machine):
+        ddg = DDG(make_region("sort", 8, 20))
+        a = WeightedSumACOScheduler(tiny_machine, pressure_weight=0.001).schedule(ddg, seed=5)
+        b = WeightedSumACOScheduler(tiny_machine, pressure_weight=0.001).schedule(ddg, seed=5)
+        assert a.schedule == b.schedule
