@@ -9,6 +9,11 @@ The expensive artifacts (the suite compiled under every scheduler) are
 shared across benches through a session-scoped context, so each bench's
 *measured* time is the table's own computation on top of the shared runs;
 the first bench that needs a given compile run pays for it.
+
+Set ``REPRO_TRACE=/path/to/trace.jsonl`` to record the whole bench
+session's telemetry (region outcomes, ACO iterations, simulated kernel
+launches) as JSONL; summarize it afterwards with
+``python -m repro.telemetry.report /path/to/trace.jsonl``.
 """
 
 from __future__ import annotations
@@ -19,13 +24,28 @@ import pytest
 
 from repro.experiments import SCALES
 from repro.experiments.common import ExperimentContext
+from repro.telemetry import JSONLSink, Telemetry
 
 
 @pytest.fixture(scope="session")
 def context():
     scale_name = os.environ.get("REPRO_SCALE", "test")
+    if scale_name not in SCALES:
+        raise pytest.UsageError(
+            "unknown REPRO_SCALE %r (valid scales: %s)"
+            % (scale_name, ", ".join(sorted(SCALES)))
+        )
     scale = SCALES[scale_name]
-    return ExperimentContext(scale)
+
+    trace_path = os.environ.get("REPRO_TRACE")
+    if trace_path:
+        telemetry = Telemetry(sink=JSONLSink(trace_path))
+        try:
+            yield ExperimentContext(scale, telemetry=telemetry)
+        finally:
+            telemetry.close()
+    else:
+        yield ExperimentContext(scale)
 
 
 @pytest.fixture(scope="session")

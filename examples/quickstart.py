@@ -7,6 +7,11 @@ ACO scheduler (CPU) and the GPU-parallel ACO scheduler (simulated device),
 printing the schedules and their quality metrics.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace quickstart.jsonl
+
+With ``--trace`` the run also records a JSONL telemetry trace (every ACO
+iteration and simulated kernel launch) and prints its profile — the
+smallest end-to-end demo of the observability layer.
 """
 
 from repro import (
@@ -101,4 +106,24 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a JSONL telemetry trace of the run and print its profile",
+    )
+    args = parser.parse_args()
+
+    if args.trace:
+        from repro.telemetry import JSONLSink, Telemetry, telemetry_session
+        from repro.telemetry.report import summarize_trace
+
+        with telemetry_session(Telemetry(sink=JSONLSink(args.trace))):
+            main()
+        print("=== Telemetry trace (%s) ===\n" % args.trace)
+        print(summarize_trace(args.trace))
+    else:
+        main()

@@ -30,6 +30,7 @@ from ..machine.model import MachineModel
 from ..rp.cost import rp_cost, rp_cost_lower_bound
 from ..rp.liveness import peak_pressure
 from ..schedule.schedule import Schedule
+from ..telemetry import Telemetry, get_telemetry
 from ..timing import DEFAULT_CPU_COST, CPUCostModel
 from .ant import AntResult, ConstructionStats, construct_cycles, construct_order
 from .pheromone import PheromoneTable
@@ -48,7 +49,9 @@ class PassResult:
     hit_lower_bound: bool
     seconds: float
     stats: ConstructionStats = field(default_factory=ConstructionStats)
-    #: Per-iteration winner costs (the convergence curve of the search).
+    #: Per-iteration winner costs (the convergence curve of the search),
+    #: derived from the telemetry layer's ``iteration`` events (see
+    #: :meth:`repro.telemetry.PassScope.trace`).
     trace: Tuple[float, ...] = ()
 
     @property
@@ -87,6 +90,7 @@ class SequentialACOScheduler:
         rp_heuristic: Optional[GuidingHeuristic] = None,
         ilp_heuristic: Optional[GuidingHeuristic] = None,
         cost_model: CPUCostModel = DEFAULT_CPU_COST,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.machine = machine
         self.params = params or ACOParams()
@@ -94,6 +98,25 @@ class SequentialACOScheduler:
         self.rp_heuristic = rp_heuristic or LastUseCountHeuristic()
         self.ilp_heuristic = ilp_heuristic or CriticalPathHeuristic()
         self.cost_model = cost_model
+        self._telemetry = telemetry
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The injected telemetry, or the process-wide one (resolved late)."""
+        return self._telemetry if self._telemetry is not None else get_telemetry()
+
+    def _publish_construction_metrics(
+        self, tele: Telemetry, stats: ConstructionStats
+    ) -> None:
+        """Export one pass's construction-operation counts as seq.* metrics."""
+        if not tele.collect_metrics:
+            return
+        m = tele.metrics
+        m.counter("seq.steps").inc(stats.steps)
+        m.counter("seq.ready_scans").inc(stats.ready_scans)
+        m.counter("seq.successor_ops").inc(stats.successor_ops)
+        m.counter("seq.stalls").inc(stats.stalls)
+        m.counter("seq.optional_stalls").inc(stats.optional_stalls)
 
     # -- pass 1 ---------------------------------------------------------------
 
@@ -113,11 +136,22 @@ class SequentialACOScheduler:
 
         stats = ConstructionStats()
         seconds = self.cost_model.region_overhead
-        trace = []
+        tele = self.telemetry
         if best_cost <= lb_cost:
+            tele.emit(
+                "pass_end",
+                region=region.name,
+                pass_index=1,
+                invoked=False,
+                iterations=0,
+                final_cost=float(best_cost),
+                hit_lower_bound=True,
+                seconds=0.0,
+            )
             result = PassResult(False, 0, best_cost, best_cost, True, 0.0)
             return best_order, best_peak, result
 
+        scope = tele.pass_scope(region.name, 1, self.name, lb_cost, best_cost)
         prepared = self.rp_heuristic.prepare(ddg)
         pheromone = PheromoneTable(ddg.num_instructions, self.params)
         tracker = TerminationTracker(
@@ -140,13 +174,13 @@ class SequentialACOScheduler:
                 if winner is None or result.rp_cost_value < winner.rp_cost_value:
                     winner = result
             assert winner is not None
-            trace.append(float(winner.rp_cost_value))
             pheromone.decay()
             pheromone.deposit(winner.order, winner.rp_cost_value - lb_cost)
             seconds += self.cost_model.pheromone_seconds(pheromone.touched_entries())
             if tracker.record_iteration(winner.rp_cost_value):
                 best_order = winner.order
                 best_peak = winner.peak
+            scope.iteration(float(winner.rp_cost_value), tracker.best_cost)
         pass_result = PassResult(
             invoked=True,
             iterations=tracker.iterations,
@@ -155,8 +189,16 @@ class SequentialACOScheduler:
             hit_lower_bound=tracker.hit_lower_bound,
             seconds=seconds,
             stats=stats,
-            trace=tuple(trace),
+            trace=scope.trace,
         )
+        scope.end(
+            invoked=True,
+            iterations=tracker.iterations,
+            final_cost=float(tracker.best_cost),
+            hit_lower_bound=tracker.hit_lower_bound,
+            seconds=seconds,
+        )
+        self._publish_construction_metrics(tele, stats)
         return best_order, best_peak, pass_result
 
     # -- pass 2 ---------------------------------------------------------------
@@ -188,11 +230,22 @@ class SequentialACOScheduler:
 
         stats = ConstructionStats()
         seconds = 0.0
-        trace = []
+        tele = self.telemetry
         if best_length <= length_lb:
+            tele.emit(
+                "pass_end",
+                region=region.name,
+                pass_index=2,
+                invoked=False,
+                iterations=0,
+                final_cost=float(best_length),
+                hit_lower_bound=True,
+                seconds=0.0,
+            )
             result = PassResult(False, 0, best_length, best_length, True, 0.0)
             return best_schedule, result
 
+        scope = tele.pass_scope(region.name, 2, self.name, length_lb, best_length)
         seconds += self.cost_model.region_overhead
         prepared = self.ilp_heuristic.prepare(ddg)
         pheromone = PheromoneTable(ddg.num_instructions, self.params)
@@ -230,17 +283,17 @@ class SequentialACOScheduler:
             if winner is None:
                 # Every ant violated the constraint: count a stagnant
                 # iteration; the pheromone decay alone reshapes the search.
-                trace.append(float("inf"))
                 tracker.record_iteration(tracker.best_cost)
                 seconds += self.cost_model.pheromone_seconds(pheromone.touched_entries())
+                scope.iteration(float("inf"), tracker.best_cost)
                 continue
-            trace.append(float(winner.length))
             pheromone.deposit(winner.order, winner.length - length_lb)
             seconds += self.cost_model.pheromone_seconds(pheromone.touched_entries())
             if tracker.record_iteration(winner.length):
                 assert winner.cycles is not None
                 best_schedule = Schedule(region, winner.cycles)
                 best_length = winner.length
+            scope.iteration(float(winner.length), tracker.best_cost)
         pass_result = PassResult(
             invoked=True,
             iterations=tracker.iterations,
@@ -249,8 +302,16 @@ class SequentialACOScheduler:
             hit_lower_bound=tracker.hit_lower_bound,
             seconds=seconds,
             stats=stats,
-            trace=tuple(trace),
+            trace=scope.trace,
         )
+        scope.end(
+            invoked=True,
+            iterations=tracker.iterations,
+            final_cost=float(best_length),
+            hit_lower_bound=tracker.hit_lower_bound,
+            seconds=seconds,
+        )
+        self._publish_construction_metrics(tele, stats)
         return best_schedule, pass_result
 
     # -- the public entry point -------------------------------------------------

@@ -4,6 +4,12 @@
 table and figure in paper order. The scale (suite size and launch
 geometry) defaults to ``default`` and can also be set with the
 ``REPRO_SCALE`` environment variable.
+
+Observability: ``--trace PATH`` streams every telemetry event (regions,
+ACO iterations, simulated kernel launches — the schema of
+:mod:`repro.telemetry.schema`) to a JSONL file and prints its profile;
+``--metrics`` collects and prints the metrics registry. Both leave results
+bit-identical: telemetry observes, it never steers.
 """
 
 from __future__ import annotations
@@ -48,6 +54,19 @@ def main(argv: List[str] = None) -> int:
         help="also write each table as a CSV file into DIR (the paper's "
         "artifact emits spreadsheets)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL telemetry trace of the run to PATH and print "
+        "its profile (see repro.telemetry)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect telemetry metrics during the run and print them at "
+        "the end",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -72,20 +91,42 @@ def main(argv: List[str] = None) -> int:
         csv_dir = args.csv
         os.makedirs(csv_dir, exist_ok=True)
 
-    for name in names:
-        started = time.time()
-        result = EXPERIMENTS[name](context)
-        print(_render(result))
-        if csv_dir is not None:
-            import os
+    from contextlib import nullcontext
 
-            tables = result if isinstance(result, list) else [result]
-            for table in tables:
-                path = os.path.join(csv_dir, table.csv_filename())
-                with open(path, "w") as handle:
-                    handle.write(table.to_csv())
-                print("[wrote %s]" % path)
-        print("[%s finished in %.1fs]\n" % (name, time.time() - started))
+    session = nullcontext()
+    telemetry = None
+    if args.trace or args.metrics:
+        from .telemetry import JSONLSink, Telemetry, telemetry_session
+
+        sink = JSONLSink(args.trace) if args.trace else None
+        telemetry = Telemetry(sink=sink, collect_metrics=args.metrics or None)
+        session = telemetry_session(telemetry)
+
+    with session:
+        for name in names:
+            started = time.time()
+            result = EXPERIMENTS[name](context)
+            print(_render(result))
+            if csv_dir is not None:
+                import os
+
+                tables = result if isinstance(result, list) else [result]
+                for table in tables:
+                    path = os.path.join(csv_dir, table.csv_filename())
+                    with open(path, "w") as handle:
+                        handle.write(table.to_csv())
+                    print("[wrote %s]" % path)
+            print("[%s finished in %.1fs]\n" % (name, time.time() - started))
+
+    if telemetry is not None and args.metrics:
+        from .telemetry.report import render_metrics
+
+        print(render_metrics(telemetry.metrics))
+    if args.trace:
+        from .telemetry.report import summarize_trace
+
+        print("[trace written to %s]" % args.trace)
+        print(summarize_trace(args.trace))
     return 0
 
 

@@ -48,3 +48,7 @@ class GPUSimError(ReproError):
 
 class PipelineError(ReproError):
     """Compile-pipeline failure."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry misuse: bad metric kinds, schema-invalid trace records."""

@@ -35,6 +35,7 @@ from ..machine.targets import amd_vega20
 from ..parallel.scheduler import ParallelACOScheduler
 from ..pipeline.compiler import CompilePipeline, CompileRun
 from ..suite.rocprim import Suite, generate_suite
+from ..telemetry import Telemetry, get_telemetry
 
 
 @dataclass(frozen=True)
@@ -107,14 +108,32 @@ class SpeedupRecord:
 
 
 class ExperimentContext:
-    """Lazily-computed shared artifacts for one scale."""
+    """Lazily-computed shared artifacts for one scale.
 
-    def __init__(self, scale: ExperimentScale, machine: Optional[MachineModel] = None):
+    ``telemetry`` is the observability hook: pass an instance (e.g. one
+    with a JSONL sink) and every compile run, scheduler pass and simulated
+    kernel launch the context triggers reports through it; leave it None
+    to follow the process-wide telemetry (see
+    :func:`repro.telemetry.set_telemetry`), which is inert by default.
+    """
+
+    def __init__(
+        self,
+        scale: ExperimentScale,
+        machine: Optional[MachineModel] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
         self.scale = scale
         self.machine = machine or amd_vega20()
         self.filters_for_stats = FilterParams(cycle_threshold=0)
+        self._telemetry = telemetry
         self._suite: Optional[Suite] = None
         self._runs: Dict[str, CompileRun] = {}
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The injected telemetry, or the process-wide one (resolved late)."""
+        return self._telemetry if self._telemetry is not None else get_telemetry()
 
     # -- building blocks -------------------------------------------------------
 
@@ -130,13 +149,18 @@ class ExperimentContext:
         return AMDMaxOccupancyScheduler(self.machine)
 
     def sequential_scheduler(self) -> SequentialACOScheduler:
-        return SequentialACOScheduler(self.machine, params=self.scale.aco)
+        return SequentialACOScheduler(
+            self.machine, params=self.scale.aco, telemetry=self._telemetry
+        )
 
     def parallel_scheduler(
         self, gpu: Optional[GPUParams] = None
     ) -> ParallelACOScheduler:
         return ParallelACOScheduler(
-            self.machine, params=self.scale.aco, gpu_params=gpu or self.scale.gpu
+            self.machine,
+            params=self.scale.aco,
+            gpu_params=gpu or self.scale.gpu,
+            telemetry=self._telemetry,
         )
 
     def _pipeline(self, kind: str, filters: FilterParams) -> CompilePipeline:
@@ -155,7 +179,11 @@ class ExperimentContext:
         else:
             raise ValueError("unknown run kind %r" % kind)
         return CompilePipeline(
-            self.machine, scheduler=scheduler, filters=filters, baseline=baseline
+            self.machine,
+            scheduler=scheduler,
+            filters=filters,
+            baseline=baseline,
+            telemetry=self._telemetry,
         )
 
     def run(self, kind: str, cycle_threshold: Optional[int] = None) -> CompileRun:

@@ -21,7 +21,16 @@ ArrayOrFloat = Union[np.ndarray, float, int]
 
 
 class KernelAccounting:
-    """Per-wavefront cycle accumulation for one kernel launch."""
+    """Per-wavefront cycle accumulation for one kernel launch.
+
+    Besides the per-wavefront totals that determine the launch's execution
+    time, the accounting keeps a public per-*category* breakdown —
+    ``compute_cycles``, ``memory_cycles``, ``alloc_cycles`` and
+    ``uniform_cycles``, each summed across all wavefronts — which the
+    telemetry layer exports (``kernel_launch`` events and the ``gpusim.*``
+    metrics) so profiles can attribute simulated time to ALU work,
+    memory traffic, dynamic allocation and synchronization.
+    """
 
     def __init__(self, device: GPUDevice, num_wavefronts: int, coalesced: bool,
                  dynamic_alloc: bool = False):
@@ -32,12 +41,26 @@ class KernelAccounting:
         self.coalesced = coalesced
         self.dynamic_alloc = dynamic_alloc
         self.wavefront_cycles = np.zeros(num_wavefronts, dtype=np.float64)
+        #: Cycles charged per category, summed across wavefronts.
+        self.compute_cycles = 0.0
+        self.memory_cycles = 0.0
+        self.alloc_cycles = 0.0
+        self.uniform_cycles = 0.0
+
+    def _total(self, charged) -> float:
+        """Sum a per-wavefront charge (scalar charges hit every wavefront)."""
+        charged = np.asarray(charged, dtype=np.float64)
+        if charged.ndim == 0:
+            return float(charged) * self.num_wavefronts
+        return float(charged.sum())
 
     # -- charging primitives (all accept per-wavefront arrays or scalars) ----
 
     def charge_compute(self, ops: ArrayOrFloat) -> None:
         """Lockstep ALU work: ``ops`` abstract operations per wavefront."""
-        self.wavefront_cycles += np.asarray(ops, dtype=np.float64) * self.device.cost.cycles_per_op
+        charged = np.asarray(ops, dtype=np.float64) * self.device.cost.cycles_per_op
+        self.wavefront_cycles += charged
+        self.compute_cycles += self._total(charged)
 
     def charge_memory(self, words: ArrayOrFloat) -> None:
         """Wavefront-wide state accesses of ``words`` array rows.
@@ -48,18 +71,32 @@ class KernelAccounting:
         """
         words = np.asarray(words, dtype=np.float64)
         factor = 1.0 if self.coalesced else self.device.cost.uncoalesced_factor
-        self.wavefront_cycles += words * factor * self.device.cost.cycles_per_transaction
+        charged = words * factor * self.device.cost.cycles_per_transaction
+        self.wavefront_cycles += charged
+        self.memory_cycles += self._total(charged)
 
     def charge_alloc(self, allocations: ArrayOrFloat) -> None:
         """Device-side dynamic allocations (only charged in naive mode)."""
         if not self.dynamic_alloc:
             return
         allocations = np.asarray(allocations, dtype=np.float64)
-        self.wavefront_cycles += allocations * self.device.cost.alloc_cycles
+        charged = allocations * self.device.cost.alloc_cycles
+        self.wavefront_cycles += charged
+        self.alloc_cycles += self._total(charged)
 
     def charge_uniform_cycles(self, cycles: float) -> None:
         """The same cycle cost on every wavefront (reductions, sync)."""
         self.wavefront_cycles += cycles
+        self.uniform_cycles += float(cycles) * self.num_wavefronts
+
+    def charge_totals(self) -> dict:
+        """The per-category cycle breakdown (keys are stable metric names)."""
+        return {
+            "compute_cycles": self.compute_cycles,
+            "memory_cycles": self.memory_cycles,
+            "alloc_cycles": self.alloc_cycles,
+            "uniform_cycles": self.uniform_cycles,
+        }
 
     # -- results ---------------------------------------------------------------
 

@@ -107,6 +107,16 @@ class Colony:
         self.stall_wavefronts = policy.stall_wavefront_mask()
         self.stall_allowed_ant = np.repeat(self.stall_wavefronts, self.wavefront_size)
 
+        # Launch-lifetime observability counters, exported through the
+        # telemetry layer by the scheduler (kernel_launch events and the
+        # parallel.* metrics). Pure observation: nothing here feeds back
+        # into selection, accounting or the RNG stream.
+        self.serialized_selection_waves = 0
+        self.serialized_stall_waves = 0
+        self.ready_peak = 0
+        self.dead_ants_total = 0
+        self.constructions_total = 0
+
     # -- per-iteration reset ---------------------------------------------------
 
     def _reset(self) -> None:
@@ -200,6 +210,7 @@ class Colony:
             lanes_other = (~exploit & doers).reshape(self.num_wavefronts, -1)
             both = lanes.any(axis=1) & lanes_other.any(axis=1)
             self._divergent_selection = both
+            self.serialized_selection_waves += int(both.sum())
         else:
             self._divergent_selection = np.zeros(self.num_wavefronts, dtype=bool)
         return sel
@@ -323,7 +334,9 @@ class Colony:
         if stalling is not None:
             wave_stall = stalling.reshape(self.num_wavefronts, -1).any(axis=1)
             wave_sched = doers.reshape(self.num_wavefronts, -1).any(axis=1)
-            ops += _STALL_PATH_OPS * (wave_stall & wave_sched)
+            serialized = wave_stall & wave_sched
+            ops += _STALL_PATH_OPS * serialized
+            self.serialized_stall_waves += int(serialized.sum())
         self.accounting.charge_compute(ops)
 
         words = np.where(
@@ -365,9 +378,11 @@ class Colony:
         """All ants construct a latency-blind order; returns the RP winner."""
         d = self.data
         self._reset()
+        self.constructions_total += self.num_ants
         cap = d.ready_capacity
         col = np.arange(cap)[None, :]
         for step in range(d.num_instructions):
+            self.ready_peak = max(self.ready_peak, int(self.avail_len.max()))
             valid = col < self.avail_len[:, None]
             scores = self._scores(tau, self.avail_ids, valid, primary="luc")
             sel = self._select(scores, self.active)
@@ -453,8 +468,10 @@ class Colony:
             [target_pressure.get(cls, 10**9) for cls in d.classes], dtype=np.int64
         )
         finished = np.zeros(self.num_ants, dtype=bool)
+        self.constructions_total += self.num_ants
         cycle = 0
         while self.active.any() and cycle <= max_length:
+            self.ready_peak = max(self.ready_peak, int(self.avail_len.max()))
             valid = col < self.avail_len[:, None]
             ready_mask = valid & (self.avail_release <= cycle)
             semi_mask = valid & (self.avail_release > cycle)
@@ -508,6 +525,7 @@ class Colony:
                 self.active &= ~retire
             cycle += 1
 
+        self.dead_ants_total += int(self.dead.sum())
         if not finished.any():
             return ColonyIterationResult(
                 winner_order=None,

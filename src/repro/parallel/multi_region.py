@@ -32,6 +32,7 @@ from ..errors import GPUSimError
 from ..gpusim.device import GPUDevice
 from ..machine.model import MachineModel
 from ..schedule.schedule import Schedule
+from ..telemetry import Telemetry, get_telemetry
 from .scheduler import ParallelACOResult, ParallelACOScheduler
 
 
@@ -75,12 +76,19 @@ class MultiRegionScheduler:
         params: Optional[ACOParams] = None,
         gpu_params: Optional[GPUParams] = None,
         device: Optional[GPUDevice] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.machine = machine
         self.params = params or ACOParams()
         self.device = device or GPUDevice()
         self.gpu_params = gpu_params or GPUParams()
         self.gpu_params.validate(self.device.wavefront_size)
+        self._telemetry = telemetry
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The injected telemetry, or the process-wide one (resolved late)."""
+        return self._telemetry if self._telemetry is not None else get_telemetry()
 
     def _partition_blocks(self, items: Sequence[BatchItem]) -> List[int]:
         """Proportional-to-size split of the launch's blocks, >= 1 each."""
@@ -109,7 +117,11 @@ class MultiRegionScheduler:
     def _region_result(self, item: BatchItem, blocks: int) -> ParallelACOResult:
         gpu = replace_params(self.gpu_params, blocks=blocks)
         scheduler = ParallelACOScheduler(
-            self.machine, params=self.params, gpu_params=gpu, device=self.device
+            self.machine,
+            params=self.params,
+            gpu_params=gpu,
+            device=self.device,
+            telemetry=self._telemetry,
         )
         return scheduler.schedule(
             item.ddg,
@@ -136,6 +148,12 @@ class MultiRegionScheduler:
         if not items:
             raise GPUSimError("empty batch")
         blocks = self._partition_blocks(items)
+        tele = self.telemetry
+        tele.emit(
+            "batch_start",
+            num_regions=len(items),
+            blocks_per_region=list(blocks),
+        )
         results = [
             self._region_result(item, b) for item, b in zip(items, blocks)
         ]
@@ -159,7 +177,9 @@ class MultiRegionScheduler:
             any_invoked += passes
 
         if any_invoked == 0:
-            return BatchResult(tuple(results), tuple(blocks), 0.0, 0.0)
+            batch = BatchResult(tuple(results), tuple(blocks), 0.0, 0.0)
+            self._publish_batch(tele, batch)
+            return batch
 
         # Regions run concurrently: with the block partition summing to the
         # configured launch size, every wavefront is resident at once (up to
@@ -172,9 +192,30 @@ class MultiRegionScheduler:
             + total_transfer
             + waves * max_kernel
         )
-        return BatchResult(
+        batch = BatchResult(
             results=tuple(results),
             blocks_per_region=tuple(blocks),
             seconds=batch_seconds,
             unbatched_seconds=unbatched,
         )
+        self._publish_batch(tele, batch)
+        return batch
+
+    def _publish_batch(self, tele: Telemetry, batch: BatchResult) -> None:
+        """Export one batch outcome (batch_end event + batch.* metrics)."""
+        if not tele.active:
+            return
+        tele.emit(
+            "batch_end",
+            num_regions=len(batch.results),
+            seconds=batch.seconds,
+            unbatched_seconds=batch.unbatched_seconds,
+            amortization_speedup=batch.amortization_speedup,
+        )
+        if tele.collect_metrics:
+            m = tele.metrics
+            m.counter("batch.launches").inc()
+            m.counter("batch.regions").inc(len(batch.results))
+            m.counter("batch.batched_us").inc(batch.seconds * 1e6)
+            m.counter("batch.unbatched_us").inc(batch.unbatched_seconds * 1e6)
+            m.gauge("batch.amortization_speedup").set(batch.amortization_speedup)

@@ -41,6 +41,7 @@ from ..machine.model import MachineModel
 from ..rp.cost import rp_cost, rp_cost_lower_bound
 from ..rp.liveness import peak_pressure
 from ..schedule.schedule import Schedule
+from ..telemetry import OCCUPANCY_PCT_BUCKETS, Telemetry, get_telemetry
 from .colony import Colony
 from .divergence import DivergencePolicy
 from .layouts import RegionDeviceData
@@ -85,6 +86,7 @@ class ParallelACOScheduler:
         params: Optional[ACOParams] = None,
         gpu_params: Optional[GPUParams] = None,
         device: Optional[GPUDevice] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.machine = machine
         self.params = params or ACOParams()
@@ -92,6 +94,77 @@ class ParallelACOScheduler:
         self.device = device or GPUDevice()
         self.gpu_params = gpu_params or GPUParams()
         self.gpu_params.validate(self.device.wavefront_size)
+        self._telemetry = telemetry
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The injected telemetry, or the process-wide one (resolved late)."""
+        return self._telemetry if self._telemetry is not None else get_telemetry()
+
+    def _publish_launch(
+        self,
+        tele: Telemetry,
+        region_name: str,
+        pass_index: int,
+        colony: Colony,
+        accounting: KernelAccounting,
+        transfer: TransferAccounting,
+        data: RegionDeviceData,
+        iterations: int,
+        kernel_seconds: float,
+        transfer_seconds: float,
+        launch_seconds: float,
+    ) -> None:
+        """Export one simulated launch: kernel/transfer events + gpusim.*
+        and parallel.* metrics (divergence, dead ants, ready-list bound)."""
+        if not tele.active:
+            return
+        totals = accounting.charge_totals()
+        tele.emit(
+            "kernel_launch",
+            region=region_name,
+            pass_index=pass_index,
+            wavefronts=accounting.num_wavefronts,
+            ants=colony.num_ants,
+            iterations=iterations,
+            kernel_seconds=kernel_seconds,
+            transfer_seconds=transfer_seconds,
+            launch_seconds=launch_seconds,
+            serialized_selection_waves=colony.serialized_selection_waves,
+            serialized_stall_waves=colony.serialized_stall_waves,
+            dead_ants=colony.dead_ants_total,
+            ready_peak=colony.ready_peak,
+            ready_capacity=data.ready_capacity,
+            **totals,
+        )
+        tele.emit(
+            "transfer",
+            region=region_name,
+            pass_index=pass_index,
+            bytes=transfer.total_bytes,
+            calls=transfer.array_count,
+            seconds=transfer_seconds,
+        )
+        if tele.collect_metrics:
+            m = tele.metrics
+            m.counter("gpusim.launches").inc()
+            m.counter("gpusim.kernel_us").inc(kernel_seconds * 1e6)
+            m.counter("gpusim.transfer_us").inc(transfer_seconds * 1e6)
+            m.counter("gpusim.launch_us").inc(launch_seconds * 1e6)
+            m.counter("gpusim.transfer_bytes").inc(transfer.total_bytes)
+            for name, value in totals.items():
+                m.counter("gpusim." + name).inc(value)
+            m.counter("parallel.constructions").inc(colony.constructions_total)
+            m.counter("parallel.dead_ants").inc(colony.dead_ants_total)
+            m.counter("parallel.serialized_selection_waves").inc(
+                colony.serialized_selection_waves
+            )
+            m.counter("parallel.serialized_stall_waves").inc(
+                colony.serialized_stall_waves
+            )
+            m.histogram(
+                "parallel.ready_occupancy_pct", OCCUPANCY_PCT_BUCKETS
+            ).observe(100.0 * colony.ready_peak / data.ready_capacity)
 
     # -- shared plumbing -----------------------------------------------------
 
@@ -153,10 +226,22 @@ class ParallelACOScheduler:
         best_peak = peak_pressure(initial_schedule)
         best_cost = rp_cost(best_peak, self.machine)
         best_order = tuple(initial_order)
+        tele = self.telemetry
         if best_cost <= lb_cost:
+            tele.emit(
+                "pass_end",
+                region=region.name,
+                pass_index=1,
+                invoked=False,
+                iterations=0,
+                final_cost=float(best_cost),
+                hit_lower_bound=True,
+                seconds=0.0,
+            )
             result = ParallelPassResult(False, 0, best_cost, best_cost, True, 0.0)
             return best_order, best_peak, result
 
+        scope = tele.pass_scope(region.name, 1, self.name, lb_cost, best_cost)
         colony, accounting = self._make_colony(data, seed)
         transfer = self._transfer(data, colony.num_ants)
         pheromone = PheromoneTable(ddg.num_instructions, self.params)
@@ -165,7 +250,6 @@ class ParallelACOScheduler:
             stagnation_limit=self.params.termination_condition(len(region)),
             best_cost=best_cost,
         )
-        trace = []
         while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
             result = colony.run_rp_iteration(pheromone.tau)
             accounting.charge_uniform_cycles(
@@ -173,11 +257,11 @@ class ParallelACOScheduler:
             )
             pheromone.decay()
             assert result.winner_order is not None
-            trace.append(float(result.winner_cost))
             pheromone.deposit(result.winner_order, result.winner_cost - lb_cost)
             if tracker.record_iteration(result.winner_cost):
                 best_order = result.winner_order
                 best_peak = result.winner_peak
+            scope.iteration(float(result.winner_cost), tracker.best_cost)
         kernel_seconds = accounting.kernel_seconds()
         transfer_seconds = transfer.seconds()
         launch_seconds = self.device.cost.launch_overhead
@@ -191,7 +275,30 @@ class ParallelACOScheduler:
             transfer_seconds=transfer_seconds,
             kernel_seconds=kernel_seconds,
             launch_seconds=launch_seconds,
-            trace=tuple(trace),
+            trace=scope.trace,
+        )
+        scope.end(
+            invoked=True,
+            iterations=tracker.iterations,
+            final_cost=float(tracker.best_cost),
+            hit_lower_bound=tracker.hit_lower_bound,
+            seconds=pass_result.seconds,
+            kernel_seconds=kernel_seconds,
+            transfer_seconds=transfer_seconds,
+            launch_seconds=launch_seconds,
+        )
+        self._publish_launch(
+            tele,
+            region.name,
+            1,
+            colony,
+            accounting,
+            transfer,
+            data,
+            tracker.iterations,
+            kernel_seconds,
+            transfer_seconds,
+            launch_seconds,
         )
         return best_order, best_peak, pass_result
 
@@ -219,10 +326,22 @@ class ParallelACOScheduler:
                 initial_schedule = reference_schedule
         best_schedule = initial_schedule
         best_length = initial_schedule.length
+        tele = self.telemetry
         if best_length <= length_lb:
+            tele.emit(
+                "pass_end",
+                region=region.name,
+                pass_index=2,
+                invoked=False,
+                iterations=0,
+                final_cost=float(best_length),
+                hit_lower_bound=True,
+                seconds=0.0,
+            )
             result = ParallelPassResult(False, 0, best_length, best_length, True, 0.0)
             return best_schedule, result
 
+        scope = tele.pass_scope(region.name, 2, self.name, length_lb, best_length)
         colony, accounting = self._make_colony(data, seed + 1)
         transfer = self._transfer(data, colony.num_ants)
         pheromone = PheromoneTable(ddg.num_instructions, self.params)
@@ -232,7 +351,6 @@ class ParallelACOScheduler:
             best_cost=best_length,
         )
         max_length = max(2 * best_length, best_length + 16)
-        trace = []
         while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
             result = colony.run_ilp_iteration(pheromone.tau, target, max_length)
             accounting.charge_uniform_cycles(
@@ -240,15 +358,15 @@ class ParallelACOScheduler:
             )
             pheromone.decay()
             if result.winner_order is None:
-                trace.append(float("inf"))
                 tracker.record_iteration(tracker.best_cost)
+                scope.iteration(float("inf"), tracker.best_cost)
                 continue
-            trace.append(float(result.winner_cost))
             pheromone.deposit(result.winner_order, result.winner_cost - length_lb)
             if tracker.record_iteration(result.winner_cost):
                 assert result.winner_cycles is not None
                 best_schedule = Schedule(region, result.winner_cycles)
                 best_length = int(result.winner_cost)
+            scope.iteration(float(result.winner_cost), tracker.best_cost)
         kernel_seconds = accounting.kernel_seconds()
         transfer_seconds = transfer.seconds()
         launch_seconds = self.device.cost.launch_overhead
@@ -262,7 +380,30 @@ class ParallelACOScheduler:
             transfer_seconds=transfer_seconds,
             kernel_seconds=kernel_seconds,
             launch_seconds=launch_seconds,
-            trace=tuple(trace),
+            trace=scope.trace,
+        )
+        scope.end(
+            invoked=True,
+            iterations=tracker.iterations,
+            final_cost=float(best_length),
+            hit_lower_bound=tracker.hit_lower_bound,
+            seconds=pass_result.seconds,
+            kernel_seconds=kernel_seconds,
+            transfer_seconds=transfer_seconds,
+            launch_seconds=launch_seconds,
+        )
+        self._publish_launch(
+            tele,
+            region.name,
+            2,
+            colony,
+            accounting,
+            transfer,
+            data,
+            tracker.iterations,
+            kernel_seconds,
+            transfer_seconds,
+            launch_seconds,
         )
         return best_schedule, pass_result
 

@@ -33,6 +33,7 @@ from ..rp.cost import ScheduleQuality, evaluate_schedule, rp_cost_lower_bound
 from ..schedule.schedule import Schedule
 from ..suite.rocprim import KernelSpec, Suite
 from ..suite.rng import derive_seed
+from ..telemetry import Telemetry, get_telemetry
 from ..timing import DEFAULT_COMPILE_TIME, CompileTimeModel
 from .filters import FilterDecision, InvocationFilter, PostSchedulingFilter
 
@@ -156,6 +157,7 @@ class CompilePipeline:
         filters: Optional[FilterParams] = None,
         compile_time_model: CompileTimeModel = DEFAULT_COMPILE_TIME,
         baseline: Optional[AMDMaxOccupancyScheduler] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.machine = machine
         self.scheduler = scheduler
@@ -165,6 +167,12 @@ class CompilePipeline:
         self.post_filter = PostSchedulingFilter(self.filters)
         self.compile_time_model = compile_time_model
         self.baseline = baseline or AMDMaxOccupancyScheduler(machine)
+        self._telemetry = telemetry
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The injected telemetry, or the process-wide one (resolved late)."""
+        return self._telemetry if self._telemetry is not None else get_telemetry()
 
     @property
     def scheduler_name(self) -> str:
@@ -173,6 +181,44 @@ class CompilePipeline:
     # -- region level -----------------------------------------------------------
 
     def compile_region(self, ddg: DDG, seed: int = 0) -> RegionOutcome:
+        tele = self.telemetry
+        if tele.active:
+            tele.emit(
+                "region_start",
+                region=ddg.region.name,
+                size=len(ddg.region),
+                scheduler=self.scheduler_name,
+            )
+        outcome = self._compile_region(ddg, seed)
+        if tele.active:
+            self._publish_region(tele, outcome)
+        return outcome
+
+    def _publish_region(self, tele: Telemetry, outcome: RegionOutcome) -> None:
+        """Export one region's outcome (region_end event + pipeline.* metrics)."""
+        decision = outcome.decision.name.lower()
+        tele.emit(
+            "region_end",
+            region=outcome.region_name,
+            size=outcome.size,
+            decision=decision,
+            aco_invoked=outcome.aco_invoked,
+            heuristic_length=outcome.heuristic.length,
+            final_length=outcome.final.length,
+            heuristic_occupancy=outcome.heuristic.occupancy,
+            final_occupancy=outcome.final.occupancy,
+            scheduling_seconds=outcome.scheduling_seconds,
+        )
+        if tele.collect_metrics:
+            m = tele.metrics
+            m.counter("pipeline.regions").inc()
+            m.counter("pipeline.decision." + decision).inc()
+            m.counter("pipeline.scheduling_us").inc(outcome.scheduling_seconds * 1e6)
+            if outcome.aco_invoked:
+                m.counter("pipeline.aco_invocations").inc()
+                m.counter("pipeline.aco_us").inc(outcome.aco_seconds * 1e6)
+
+    def _compile_region(self, ddg: DDG, seed: int) -> RegionOutcome:
         region = ddg.region
         bounds = region_bounds(ddg)
         heuristic_schedule = self.baseline.schedule(ddg)
@@ -241,11 +287,31 @@ class CompilePipeline:
         return KernelOutcome(kernel=kernel, regions=tuple(outcomes))
 
     def compile_suite(self, suite: Suite) -> CompileRun:
+        tele = self.telemetry
+        if tele.active:
+            tele.emit(
+                "suite_start",
+                scheduler=self.scheduler_name,
+                num_kernels=len(suite.kernels),
+            )
         kernels = tuple(
             self.compile_kernel(kernel, suite.params.seed) for kernel in suite.kernels
         )
         total_instructions = sum(k.kernel.total_instructions for k in kernels)
         base = self.compile_time_model.base_seconds(total_instructions, len(kernels))
-        return CompileRun(
+        run = CompileRun(
             scheduler_name=self.scheduler_name, kernels=kernels, base_seconds=base
         )
+        if tele.active:
+            tele.emit(
+                "suite_end",
+                scheduler=self.scheduler_name,
+                num_kernels=len(run.kernels),
+                scheduling_seconds=run.scheduling_seconds,
+                base_seconds=run.base_seconds,
+            )
+            if tele.collect_metrics:
+                from .stats import publish_run_metrics
+
+                publish_run_metrics(run, tele)
+        return run

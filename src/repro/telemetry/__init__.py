@@ -1,0 +1,67 @@
+"""Structured telemetry: metrics, typed trace events and pluggable sinks.
+
+The observability layer of the reproduction (see the "Observability"
+sections of README.md and DESIGN.md). The paper's speedup story lives in
+*mechanisms* — iterations to convergence, wavefront serialization,
+launch/copy overheads, ready-list occupancy against the transitive-closure
+bound — and this package makes them visible without perturbing them:
+
+* :class:`Telemetry` — one metrics registry + one event tracer, installed
+  process-wide with :func:`set_telemetry` / :func:`telemetry_session` or
+  injected per component;
+* sinks — :class:`NullSink` (inert default), :class:`MemorySink` (tests),
+  :class:`JSONLSink` (the ``--trace`` file format, schema-versioned in
+  :mod:`repro.telemetry.schema`);
+* :mod:`repro.telemetry.report` — human-readable profiles from traces and
+  metric registries.
+
+Disabled telemetry (the default) is a single attribute check per
+instrumentation site and never touches an RNG or a cost model, so seeded
+runs are bit-identical with it on or off.
+"""
+
+from .core import PassScope, Telemetry, get_telemetry, set_telemetry, telemetry_session
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    ITERATION_BUCKETS,
+    MICROSECOND_BUCKETS,
+    MetricsRegistry,
+    OCCUPANCY_PCT_BUCKETS,
+)
+from .schema import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    iter_trace,
+    read_trace,
+    validate_event,
+    validate_trace,
+)
+from .sinks import JSONLSink, MemorySink, NullSink, Sink, TeeSink
+
+__all__ = [
+    "Telemetry",
+    "PassScope",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ITERATION_BUCKETS",
+    "OCCUPANCY_PCT_BUCKETS",
+    "MICROSECOND_BUCKETS",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JSONLSink",
+    "TeeSink",
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "validate_event",
+    "validate_trace",
+    "read_trace",
+    "iter_trace",
+]

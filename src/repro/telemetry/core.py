@@ -1,0 +1,201 @@
+"""The :class:`Telemetry` object: one tracer + one metrics registry.
+
+Process-wide but injectable: every instrumented component resolves its
+telemetry at *use* time — an explicitly injected instance wins, otherwise
+the process-wide instance installed with :func:`set_telemetry` /
+:func:`telemetry_session` (default: an inert one). With the default
+:class:`~repro.telemetry.sinks.NullSink` and metric collection off, the
+whole layer reduces to one boolean attribute check per instrumentation
+site, and — crucially for reproducibility — it never touches an RNG or a
+cost model, so enabling it cannot change schedules, costs or simulated
+timings.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import ITERATION_BUCKETS, MetricsRegistry
+from .schema import SCHEMA_VERSION, validate_event
+from .sinks import NullSink, Sink
+
+
+class Telemetry:
+    """A structured event tracer plus a metrics registry.
+
+    ``collect_metrics`` defaults to the sink's enabled-ness: a live sink
+    implies live metrics, the NullSink default leaves both off. Pass
+    ``collect_metrics=True`` with a NullSink for metrics-only profiling
+    (the CLI's bare ``--metrics``).
+    """
+
+    def __init__(self, sink: Optional[Sink] = None, collect_metrics: Optional[bool] = None):
+        self.sink = sink or NullSink()
+        self.collect_metrics = (
+            bool(self.sink.enabled) if collect_metrics is None else collect_metrics
+        )
+        self.metrics = MetricsRegistry()
+        self._seq = 0
+
+    # -- liveness -----------------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        """True when emitted events reach a live sink."""
+        return self.sink.enabled
+
+    @property
+    def active(self) -> bool:
+        """True when instrumentation sites should do any work at all."""
+        return self.sink.enabled or self.collect_metrics
+
+    # -- events -------------------------------------------------------------
+
+    def emit(self, event: str, **fields) -> None:
+        """Emit one schema-validated event record (no-op when not tracing)."""
+        if not self.sink.enabled:
+            return
+        record = {"v": SCHEMA_VERSION, "seq": self._seq, "event": event}
+        record.update(fields)
+        validate_event(record)
+        self._seq += 1
+        self.sink.write(record)
+
+    def pass_scope(
+        self,
+        region: str,
+        pass_index: int,
+        scheduler: str,
+        lower_bound: float,
+        initial_cost: float,
+    ) -> "PassScope":
+        """Open a per-pass scope (emits ``pass_start`` when tracing)."""
+        return PassScope(self, region, pass_index, scheduler, lower_bound, initial_cost)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class PassScope:
+    """Recorder for one ACO pass on one region.
+
+    The scope *always* records its iteration events locally — the
+    schedulers derive the backward-compatible ``PassResult.trace`` tuple
+    from them — and forwards each to the telemetry sink when tracing. A
+    ``winner_cost`` of None marks an iteration where every ant died
+    (trace derivation maps it back to +infinity).
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        region: str,
+        pass_index: int,
+        scheduler: str,
+        lower_bound: float,
+        initial_cost: float,
+    ):
+        self.telemetry = telemetry
+        self.region = region
+        self.pass_index = pass_index
+        self.events: List[Dict] = []
+        telemetry.emit(
+            "pass_start",
+            region=region,
+            pass_index=pass_index,
+            scheduler=scheduler,
+            lower_bound=float(lower_bound),
+            initial_cost=float(initial_cost),
+        )
+
+    def iteration(self, winner_cost: float, best_cost: float) -> None:
+        """Record one iteration's winner (None/inf when every ant died)."""
+        dead = winner_cost is None or not math.isfinite(winner_cost)
+        record = {
+            "region": self.region,
+            "pass_index": self.pass_index,
+            "iteration": len(self.events),
+            "winner_cost": None if dead else float(winner_cost),
+            "best_cost": float(best_cost),
+        }
+        self.events.append(record)
+        self.telemetry.emit("iteration", **record)
+
+    @property
+    def trace(self) -> Tuple[float, ...]:
+        """The per-iteration winner costs, derived from the recorded events."""
+        return tuple(
+            float("inf") if e["winner_cost"] is None else e["winner_cost"]
+            for e in self.events
+        )
+
+    def end(
+        self,
+        invoked: bool,
+        iterations: int,
+        final_cost: float,
+        hit_lower_bound: bool,
+        seconds: float,
+        **extra,
+    ) -> None:
+        """Close the scope: emit ``pass_end`` and update the pass metrics."""
+        telemetry = self.telemetry
+        telemetry.emit(
+            "pass_end",
+            region=self.region,
+            pass_index=self.pass_index,
+            invoked=bool(invoked),
+            iterations=int(iterations),
+            final_cost=float(final_cost),
+            hit_lower_bound=bool(hit_lower_bound),
+            seconds=float(seconds),
+            **extra,
+        )
+        if telemetry.collect_metrics and invoked:
+            m = telemetry.metrics
+            prefix = "aco.pass%d" % self.pass_index
+            m.histogram(prefix + ".iterations", ITERATION_BUCKETS).observe(iterations)
+            m.counter(prefix + ".regions").inc()
+            if hit_lower_bound:
+                m.counter(prefix + ".hit_lower_bound").inc()
+            m.counter(prefix + ".simulated_us").inc(seconds * 1e6)
+            dead = sum(1 for e in self.events if e["winner_cost"] is None)
+            if dead:
+                m.counter(prefix + ".dead_iterations").inc(dead)
+
+
+#: The process-wide default: inert (NullSink, metrics off).
+_GLOBAL = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The currently installed process-wide telemetry."""
+    return _GLOBAL
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Install ``telemetry`` process-wide (None restores the inert default).
+
+    Returns the previously installed instance so callers can restore it.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = telemetry if telemetry is not None else Telemetry()
+    return previous
+
+
+@contextmanager
+def telemetry_session(telemetry: Telemetry):
+    """Install ``telemetry`` for the duration of a ``with`` block.
+
+    Closes the telemetry's sink on exit and restores the previous
+    process-wide instance.
+    """
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)
+        telemetry.close()

@@ -1,0 +1,191 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Metrics complement the event tracer (:mod:`repro.telemetry.core`): events
+record *what happened when*, metrics record *how much of it happened*
+without retaining per-occurrence records. All metric types are plain
+in-process accumulators — there is no background thread, no I/O and no
+locking (the reproduction is single-threaded by design), so updating a
+metric costs one dict lookup and one addition.
+
+Histograms use **fixed bucket layouts** declared at creation time so that
+two runs (or two schedulers within one run) always produce comparable
+distributions. The canonical layouts used by the instrumentation live in
+:data:`ITERATION_BUCKETS`, :data:`OCCUPANCY_PCT_BUCKETS` and
+:data:`MICROSECOND_BUCKETS`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import TelemetryError
+
+#: Buckets for iterations-to-convergence histograms (upper bounds).
+ITERATION_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: Buckets for percentage-valued histograms (e.g. ready-list occupancy
+#: relative to the transitive-closure bound).
+OCCUPANCY_PCT_BUCKETS: Tuple[float, ...] = (10, 25, 50, 75, 90, 100)
+
+#: Buckets for simulated-microsecond histograms (launch/copy/kernel times).
+MICROSECOND_BUCKETS: Tuple[float, ...] = (1, 10, 50, 100, 500, 1000, 10000)
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError("counter %r cannot decrease" % self.name)
+        self.value += amount
+
+
+class Gauge:
+    """A last-value metric that also remembers its extremes."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+
+class Histogram:
+    """A fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything above the last bound.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Iterable[float]):
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        if not self.buckets:
+            raise TelemetryError("histogram %r needs at least one bucket" % name)
+        if list(self.buckets) != sorted(self.buckets):
+            raise TelemetryError("histogram %r buckets must be sorted" % name)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._finite = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            # Non-finite observations (dead iterations) land in overflow.
+            self.counts[-1] += 1
+            self.count += 1
+            return
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self._finite += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of the *finite* observations (dead iterations excluded)."""
+        return self.sum / self._finite if self._finite else 0.0
+
+
+class MetricsRegistry:
+    """Name -> metric map with get-or-create accessors.
+
+    A name is bound to one metric kind for the registry's lifetime;
+    re-requesting it with a different kind (or different histogram buckets)
+    is a programming error and raises :class:`TelemetryError`.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: str):
+        metric = self._metrics.get(name)
+        if metric is not None and metric.kind != kind:
+            raise TelemetryError(
+                "metric %r is a %s, not a %s" % (name, metric.kind, kind)
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get(name, "counter")
+        if metric is None:
+            metric = self._metrics[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get(name, "gauge")
+        if metric is None:
+            metric = self._metrics[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, buckets: Iterable[float]) -> Histogram:
+        metric = self._get(name, "histogram")
+        if metric is None:
+            metric = self._metrics[name] = Histogram(name, buckets)
+        elif metric.buckets != tuple(float(b) for b in buckets):
+            raise TelemetryError(
+                "histogram %r re-requested with different buckets" % name
+            )
+        return metric
+
+    def get(self, name: str):
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A plain-dict dump of every metric (stable across versions)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.kind == "counter":
+                out[name] = {"kind": "counter", "value": metric.value}
+            elif metric.kind == "gauge":
+                out[name] = {
+                    "kind": "gauge",
+                    "value": metric.value,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+            else:
+                out[name] = {
+                    "kind": "histogram",
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+        return out

@@ -1,0 +1,160 @@
+"""The versioned trace-event schema.
+
+Every record emitted by :class:`repro.telemetry.Telemetry` is a flat JSON
+object with three envelope fields —
+
+* ``v``     — the schema version (:data:`SCHEMA_VERSION`),
+* ``seq``   — a monotonically increasing per-telemetry sequence number
+  (the reproduction is deterministic, so traces carry no wall-clock
+  timestamps; ``seq`` is the causal order),
+* ``event`` — the record type, one of :data:`EVENT_TYPES` —
+
+plus the type's required fields listed below. Producers may add extra
+fields; consumers must ignore fields they do not know (the usual
+forward-compatibility rule). ``winner_cost: null`` in an ``iteration``
+record means the iteration produced no feasible schedule (every ant died);
+readers should treat it as +infinity.
+
+Event types (schema v1):
+
+========================  ====================================================
+``suite_start/_end``      one compilation of the whole suite
+``region_start/_end``     one region through the pipeline (decision, quality)
+``pass_start/_end``       one ACO pass on one region (bounds, convergence)
+``iteration``             one ACO iteration (the winner's cost)
+``kernel_launch``         one simulated GPU launch (time + divergence split)
+``transfer``              one host<->device copy set (bytes, calls)
+``batch_start/_end``      one multi-region batched launch
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
+
+from ..errors import TelemetryError
+
+#: Version stamped into every record; bump on incompatible field changes.
+SCHEMA_VERSION = 1
+
+#: Envelope fields present on every record.
+ENVELOPE_FIELDS: Tuple[str, ...] = ("v", "seq", "event")
+
+#: event type -> required (non-envelope) field names.
+EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
+    "suite_start": ("scheduler", "num_kernels"),
+    "suite_end": ("scheduler", "num_kernels", "scheduling_seconds", "base_seconds"),
+    "region_start": ("region", "size", "scheduler"),
+    "region_end": (
+        "region",
+        "size",
+        "decision",
+        "aco_invoked",
+        "heuristic_length",
+        "final_length",
+        "heuristic_occupancy",
+        "final_occupancy",
+        "scheduling_seconds",
+    ),
+    "pass_start": ("region", "pass_index", "scheduler", "lower_bound", "initial_cost"),
+    "iteration": ("region", "pass_index", "iteration", "winner_cost", "best_cost"),
+    "pass_end": (
+        "region",
+        "pass_index",
+        "invoked",
+        "iterations",
+        "final_cost",
+        "hit_lower_bound",
+        "seconds",
+    ),
+    "kernel_launch": (
+        "region",
+        "pass_index",
+        "wavefronts",
+        "ants",
+        "iterations",
+        "kernel_seconds",
+        "transfer_seconds",
+        "launch_seconds",
+        "compute_cycles",
+        "memory_cycles",
+        "alloc_cycles",
+        "uniform_cycles",
+        "serialized_selection_waves",
+        "serialized_stall_waves",
+        "dead_ants",
+        "ready_peak",
+        "ready_capacity",
+    ),
+    "transfer": ("region", "pass_index", "bytes", "calls", "seconds"),
+    "batch_start": ("num_regions", "blocks_per_region"),
+    "batch_end": ("num_regions", "seconds", "unbatched_seconds", "amortization_speedup"),
+}
+
+
+def validate_event(record: Dict) -> None:
+    """Raise :class:`TelemetryError` unless ``record`` is schema-valid."""
+    if not isinstance(record, dict):
+        raise TelemetryError("trace record must be an object, got %r" % type(record))
+    for field in ENVELOPE_FIELDS:
+        if field not in record:
+            raise TelemetryError("trace record missing envelope field %r" % field)
+    if record["v"] != SCHEMA_VERSION:
+        raise TelemetryError(
+            "unsupported schema version %r (supported: %d)"
+            % (record["v"], SCHEMA_VERSION)
+        )
+    event = record["event"]
+    required = EVENT_TYPES.get(event)
+    if required is None:
+        raise TelemetryError("unknown event type %r" % event)
+    missing = [f for f in required if f not in record]
+    if missing:
+        raise TelemetryError(
+            "event %r missing required field(s): %s" % (event, ", ".join(missing))
+        )
+
+
+def iter_trace(path: str) -> Iterator[Dict]:
+    """Yield validated records from a JSONL trace file.
+
+    Raises :class:`TelemetryError` on unparsable lines or schema-invalid
+    records, identifying the offending line number.
+    """
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise TelemetryError(
+                    "%s:%d: not valid JSON: %s" % (path, lineno, exc)
+                ) from exc
+            try:
+                validate_event(record)
+            except TelemetryError as exc:
+                raise TelemetryError("%s:%d: %s" % (path, lineno, exc)) from exc
+            yield record
+
+
+def read_trace(path: str) -> List[Dict]:
+    """All validated records of a JSONL trace file, in file order."""
+    return list(iter_trace(path))
+
+
+def validate_trace(source: Union[str, Iterable[Dict]]) -> int:
+    """Validate a trace file path or an iterable of records.
+
+    Returns the number of valid records; raises on the first invalid one.
+    """
+    if isinstance(source, str):
+        records: Iterable[Dict] = iter_trace(source)
+        return sum(1 for _ in records)
+    count = 0
+    for record in source:
+        validate_event(record)
+        count += 1
+    return count

@@ -1,0 +1,114 @@
+"""Event sinks: where the tracer's records go.
+
+The default :class:`NullSink` is inert and advertises ``enabled = False``,
+which lets every instrumentation site skip event construction entirely — a
+single attribute check is the whole cost of disabled telemetry.
+:class:`MemorySink` retains records for tests and in-process analysis;
+:class:`JSONLSink` streams them to a file, one JSON object per line, in the
+versioned schema of :mod:`repro.telemetry.schema`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional
+
+from ..errors import TelemetryError
+
+
+class Sink:
+    """Base sink interface."""
+
+    #: Instrumentation sites skip event construction when this is False.
+    enabled = True
+
+    def write(self, record: Dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class NullSink(Sink):
+    """Discards everything; the near-zero-overhead default."""
+
+    enabled = False
+
+    def write(self, record: Dict) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Keeps every record in a list (tests, in-process summaries)."""
+
+    def __init__(self):
+        self.records: List[Dict] = []
+
+    def write(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def by_type(self, event_type: str) -> List[Dict]:
+        return [r for r in self.records if r.get("event") == event_type]
+
+
+def _json_safe(value):
+    """Replace non-finite floats with None so the output is strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+class JSONLSink(Sink):
+    """Appends one JSON object per line to ``path``.
+
+    The file is opened lazily on the first write and truncated then, so
+    creating a sink that never fires leaves no file behind.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._handle = None
+        self._count = 0
+
+    def write(self, record: Dict) -> None:
+        if self._handle is None:
+            try:
+                self._handle = open(self.path, "w")
+            except OSError as exc:
+                raise TelemetryError(
+                    "cannot open trace file %r: %s" % (self.path, exc)
+                ) from exc
+        self._handle.write(json.dumps(_json_safe(record), sort_keys=True))
+        self._handle.write("\n")
+        self._count += 1
+
+    @property
+    def records_written(self) -> int:
+        return self._count
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class TeeSink(Sink):
+    """Fans every record out to several sinks (e.g. memory + file)."""
+
+    def __init__(self, *sinks: Sink):
+        self.sinks = tuple(sinks)
+        self.enabled = any(s.enabled for s in self.sinks)
+
+    def write(self, record: Dict) -> None:
+        for sink in self.sinks:
+            if sink.enabled:
+                sink.write(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

@@ -5,7 +5,15 @@ and presenting results (the examples use them, and downstream users get a
 quick way to *see* a DDG or a schedule).
 """
 
+from .convergence import convergence_curve, convergence_series
 from .dot import ddg_to_dot
 from .timeline import schedule_timeline, pressure_sparkline, compare_schedules
 
-__all__ = ["ddg_to_dot", "schedule_timeline", "pressure_sparkline", "compare_schedules"]
+__all__ = [
+    "convergence_curve",
+    "convergence_series",
+    "ddg_to_dot",
+    "schedule_timeline",
+    "pressure_sparkline",
+    "compare_schedules",
+]

@@ -1,0 +1,315 @@
+"""Tests for the structured telemetry layer.
+
+Covers the metrics registry, the sinks, the event schema and JSONL
+round-trip, the pass scopes, the report renderers — and the layer's core
+guarantee: with telemetry enabled, seeded results are bit-identical to the
+disabled default (which in turn matches the values recorded from the seed
+commit, embedded below as goldens).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.aco import SequentialACOScheduler
+from repro.config import GPUParams
+from repro.ddg import DDG
+from repro.errors import TelemetryError
+from repro.machine import simple_test_target
+from repro.parallel import ParallelACOScheduler
+from repro.telemetry import (
+    ITERATION_BUCKETS,
+    JSONLSink,
+    MemorySink,
+    MetricsRegistry,
+    NullSink,
+    TeeSink,
+    Telemetry,
+    get_telemetry,
+    read_trace,
+    set_telemetry,
+    telemetry_session,
+    validate_event,
+    validate_trace,
+)
+from repro.telemetry.report import render_metrics, summarize_trace
+
+from conftest import make_region
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "data", "convergence_trace.jsonl")
+
+
+class TestMetrics:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        c = registry.counter("a")
+        c.inc()
+        c.inc(2.5)
+        assert registry.counter("a").value == 3.5
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+    def test_gauge_extremes(self):
+        g = MetricsRegistry().gauge("g")
+        for v in (5, 1, 3):
+            g.set(v)
+        assert (g.value, g.min, g.max) == (3, 1, 5)
+
+    def test_histogram_buckets(self):
+        h = MetricsRegistry().histogram("h", (1, 2, 4))
+        for v in (0.5, 1, 2, 3, 100):
+            h.observe(v)
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.min == 0.5 and h.max == 100
+
+    def test_histogram_nonfinite_goes_to_overflow(self):
+        h = MetricsRegistry().histogram("h", (1, 2))
+        h.observe(float("inf"))
+        h.observe(1)
+        assert h.counts == [1, 0, 1]
+        assert h.mean == 1  # non-finite observations excluded from the mean
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TelemetryError):
+            registry.gauge("x")
+
+    def test_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1, 2))
+        with pytest.raises(TelemetryError):
+            registry.histogram("h", (1, 3))
+
+    def test_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", (1,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c"] == {"kind": "counter", "value": 2}
+        assert snap["g"]["value"] == 7
+        assert snap["h"]["counts"] == [1, 0]
+
+
+class TestSinksAndSchema:
+    def test_null_sink_disables_everything(self):
+        tele = Telemetry()
+        assert not tele.tracing and not tele.active
+        tele.emit("iteration", region="r", pass_index=1, iteration=0,
+                  winner_cost=1.0, best_cost=1.0)  # silently dropped
+
+    def test_memory_sink_records_and_validates(self):
+        sink = MemorySink()
+        tele = Telemetry(sink=sink)
+        assert tele.tracing and tele.active and tele.collect_metrics
+        tele.emit("region_start", region="r", size=3, scheduler="s")
+        tele.emit("region_start", region="q", size=4, scheduler="s")
+        assert [r["seq"] for r in sink.records] == [0, 1]
+        assert len(sink.by_type("region_start")) == 2
+        for record in sink.records:
+            validate_event(record)
+
+    def test_emit_rejects_unknown_event_and_missing_fields(self):
+        tele = Telemetry(sink=MemorySink())
+        with pytest.raises(TelemetryError):
+            tele.emit("no_such_event")
+        with pytest.raises(TelemetryError):
+            tele.emit("region_start", region="r")  # size, scheduler missing
+
+    def test_jsonl_round_trips_through_validator(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JSONLSink(path)
+        tele = Telemetry(sink=sink)
+        scope = tele.pass_scope("r", 1, "seq", 10.0, 20.0)
+        scope.iteration(15.0, 15.0)
+        scope.iteration(float("inf"), 15.0)  # dead iteration -> null in JSON
+        scope.end(invoked=True, iterations=2, final_cost=15.0,
+                  hit_lower_bound=False, seconds=1e-5)
+        tele.close()
+        assert validate_trace(path) == 4
+        records = read_trace(path)
+        assert [r["event"] for r in records][-4:] == [
+            "pass_start", "iteration", "iteration", "pass_end",
+        ]
+        assert records[-2]["winner_cost"] is None  # strict JSON, no Infinity
+
+    def test_jsonl_lazy_open(self, tmp_path):
+        path = str(tmp_path / "never.jsonl")
+        sink = JSONLSink(path)
+        sink.close()
+        assert not os.path.exists(path)
+        assert sink.records_written == 0
+
+    def test_tee_sink(self, tmp_path):
+        memory = MemorySink()
+        sink = TeeSink(memory, NullSink())
+        assert sink.enabled
+        Telemetry(sink=sink).emit("region_start", region="r", size=1, scheduler="s")
+        assert len(memory.records) == 1
+
+    def test_validate_trace_flags_corrupt_line(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"v": 1, "seq": 0, "event": "nope"}\n')
+        with pytest.raises(TelemetryError):
+            validate_trace(path)
+
+    def test_fixture_trace_is_schema_valid(self):
+        assert validate_trace(FIXTURE) > 0
+        records = read_trace(FIXTURE)
+        types = {r["event"] for r in records}
+        assert {"pass_start", "iteration", "pass_end", "kernel_launch"} <= types
+
+
+class TestSessionAndScope:
+    def test_session_installs_and_restores(self):
+        default = get_telemetry()
+        tele = Telemetry(sink=MemorySink())
+        with telemetry_session(tele) as installed:
+            assert installed is tele
+            assert get_telemetry() is tele
+        assert get_telemetry() is default
+
+    def test_set_telemetry_none_restores_inert_default(self):
+        previous = set_telemetry(Telemetry(sink=MemorySink()))
+        set_telemetry(None)
+        assert not get_telemetry().active
+        set_telemetry(previous)
+
+    def test_pass_scope_trace_derivation(self):
+        tele = Telemetry()  # disabled sink: scope still records locally
+        scope = tele.pass_scope("r", 2, "seq", 1.0, 5.0)
+        scope.iteration(4.0, 4.0)
+        scope.iteration(None, 4.0)
+        scope.iteration(float("inf"), 4.0)
+        assert scope.trace == (4.0, float("inf"), float("inf"))
+
+    def test_pass_scope_end_updates_metrics(self):
+        tele = Telemetry(collect_metrics=True)
+        scope = tele.pass_scope("r", 1, "seq", 1.0, 5.0)
+        scope.iteration(None, 5.0)
+        scope.iteration(3.0, 3.0)
+        scope.end(invoked=True, iterations=2, final_cost=3.0,
+                  hit_lower_bound=True, seconds=2e-6)
+        m = tele.metrics
+        assert m.counter("aco.pass1.regions").value == 1
+        assert m.counter("aco.pass1.hit_lower_bound").value == 1
+        assert m.counter("aco.pass1.dead_iterations").value == 1
+        assert m.histogram("aco.pass1.iterations", ITERATION_BUCKETS).count == 1
+
+
+class TestReport:
+    def test_summarize_fixture(self):
+        text = summarize_trace(FIXTURE)
+        assert "trace summary" in text
+        assert "GPU time split" in text
+        assert "iterations-to-convergence" in text
+
+    def test_summarize_accepts_record_list(self):
+        text = summarize_trace(read_trace(FIXTURE))
+        assert "trace summary" in text
+
+    def test_render_metrics(self):
+        registry = MetricsRegistry()
+        assert render_metrics(registry) == "(no metrics collected)\n"
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", (1, 2)).observe(1)
+        text = render_metrics(registry)
+        assert "counter" in text and "gauge" in text and "histogram" in text
+
+
+def _schedule_both(telemetry):
+    """The two golden scenarios, run under ``telemetry`` (None = default)."""
+    machine = simple_test_target()
+    seq = SequentialACOScheduler(machine, telemetry=telemetry).schedule(
+        DDG(make_region("reduce", 3, 30)), seed=7
+    )
+    par = ParallelACOScheduler(
+        machine, gpu_params=GPUParams(blocks=2), telemetry=telemetry
+    ).schedule(DDG(make_region("sort", 5, 25)), seed=11)
+    return seq, par
+
+
+def _fingerprint(result):
+    passes = []
+    for p in (result.pass1, result.pass2):
+        passes.append(
+            (p.invoked, p.iterations, p.initial_cost, p.final_cost, p.seconds, p.trace)
+        )
+    return (
+        tuple(result.schedule.order),
+        tuple(result.schedule.cycles),
+        result.schedule.length,
+        result.seconds,
+        tuple(passes),
+    )
+
+
+class TestDeterminism:
+    """Telemetry observes; it must never steer.
+
+    The golden values below were recorded from the seed commit (before the
+    telemetry layer existed). Telemetry off must reproduce them exactly,
+    and telemetry on must match telemetry off bit for bit.
+    """
+
+    SEQ_ORDER = (1, 2, 7, 8, 10, 17, 5, 19, 14, 9, 11, 16, 21, 23, 0, 20,
+                 3, 4, 15, 6, 18, 22, 24, 25, 12, 26, 13, 27, 28, 29)
+    SEQ_CYCLES = (80, 0, 1, 101, 102, 29, 123, 2, 3, 55, 4, 56, 147, 168,
+                  54, 122, 76, 28, 143, 53, 100, 77, 144, 79, 145, 146,
+                  167, 188, 190, 191)
+    PAR_ORDER = (0, 2, 4, 5, 7, 6, 3, 8, 9, 15, 14, 1, 10, 11, 12, 13, 16,
+                 17, 18, 19, 21, 20, 22, 23, 24)
+    PAR_CYCLES = (0, 53, 1, 29, 2, 3, 28, 27, 49, 50, 73, 74, 75, 76, 52,
+                  51, 77, 78, 79, 80, 82, 81, 83, 84, 85)
+
+    def test_disabled_matches_seed_goldens(self):
+        seq, par = _schedule_both(None)
+
+        assert tuple(seq.schedule.order) == self.SEQ_ORDER
+        assert tuple(seq.schedule.cycles) == self.SEQ_CYCLES
+        assert seq.schedule.length == 192
+        assert seq.pass1.trace == (30014.0,)
+        assert seq.pass1.seconds == 0.000111496
+        assert seq.pass2.trace == (float("inf"),)
+        assert seq.pass2.seconds == 7.903599999999998e-05
+        assert seq.seconds == 0.00019053199999999998
+
+        assert tuple(par.schedule.order) == self.PAR_ORDER
+        assert tuple(par.schedule.cycles) == self.PAR_CYCLES
+        assert par.schedule.length == 86
+        assert par.pass1.trace == (20012.0,)
+        assert par.pass1.seconds == 5.9596291666666666e-05
+        assert par.pass1.kernel_seconds == 3.3416666666666667e-06
+        assert par.pass1.transfer_seconds == 1.6254625e-05
+        assert par.pass1.launch_seconds == 4e-05
+        assert par.pass2.trace == (float("inf"),)
+        assert par.pass2.kernel_seconds == 2.221666666666667e-06
+        assert par.seconds == 0.00011807258333333334
+
+    def test_enabled_is_bit_identical_to_disabled(self, tmp_path):
+        base_seq, base_par = _schedule_both(None)
+        sink = TeeSink(MemorySink(), JSONLSink(str(tmp_path / "t.jsonl")))
+        tele = Telemetry(sink=sink, collect_metrics=True)
+        traced_seq, traced_par = _schedule_both(tele)
+        tele.close()
+
+        assert _fingerprint(traced_seq) == _fingerprint(base_seq)
+        assert _fingerprint(traced_par) == _fingerprint(base_par)
+        # ... and the trace it wrote is schema-valid and non-trivial.
+        records = read_trace(str(tmp_path / "t.jsonl"))
+        assert {r["event"] for r in records} >= {
+            "pass_start", "iteration", "pass_end", "kernel_launch", "transfer",
+        }
+
+    def test_global_session_is_bit_identical_too(self):
+        base = [_fingerprint(r) for r in _schedule_both(None)]
+        with telemetry_session(Telemetry(sink=MemorySink())):
+            traced = [_fingerprint(r) for r in _schedule_both(None)]
+        assert traced == base

@@ -1,0 +1,86 @@
+"""Tests for the convergence-curve renderer on a recorded trace fixture.
+
+``tests/data/convergence_trace.jsonl`` was recorded with the telemetry
+JSONL sink from two real scheduling runs (a sequential reduce region on
+the tiny target, a parallel sort region on Vega 20); the renderer must
+reconstruct cost-vs-iteration curves from it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import read_trace
+from repro.viz import convergence_curve, convergence_series
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "data", "convergence_trace.jsonl")
+
+
+class TestConvergenceSeries:
+    def test_fixture_series(self):
+        series = convergence_series(FIXTURE)
+        assert ("reduce_30", 1) in series
+        assert ("sort_80", 2) in series
+        events = series[("sort_80", 2)]
+        assert len(events) == 4
+        assert [e["iteration"] for e in events] == [0, 1, 2, 3]
+        # best-so-far never increases
+        bests = [e["best_cost"] for e in events]
+        assert bests == sorted(bests, reverse=True)
+
+    def test_filters(self):
+        only = convergence_series(FIXTURE, region="sort_80", pass_index=2)
+        assert set(only) == {("sort_80", 2)}
+        assert convergence_series(FIXTURE, region="nope") == {}
+
+    def test_accepts_record_list(self):
+        series = convergence_series(read_trace(FIXTURE))
+        assert series == convergence_series(FIXTURE)
+
+
+class TestConvergenceCurve:
+    def test_render_fixture(self):
+        text = convergence_curve(FIXTURE)
+        assert "reduce_30 pass 1" in text
+        assert "sort_80 pass 2: 4 iteration(s)" in text
+        assert "o" in text  # best-so-far markers
+        assert text.endswith("\n")
+
+    def test_dead_iterations_marked(self):
+        # pass 2 of the fixture's reduce run converged immediately: every
+        # ant died (winner_cost null), rendered as 'x'.
+        text = convergence_curve(FIXTURE, region="reduce_30", pass_index=2)
+        assert "x" in text
+
+    def test_curve_descends(self):
+        text = convergence_curve(FIXTURE, region="sort_80", pass_index=2)
+        assert "best 88 -> 87" in text
+
+    def test_no_match_raises(self):
+        with pytest.raises(TelemetryError):
+            convergence_curve(FIXTURE, region="nope")
+
+    def test_downsampling_wide_series(self):
+        records = [
+            {
+                "v": 1,
+                "seq": i,
+                "event": "iteration",
+                "region": "r",
+                "pass_index": 1,
+                "iteration": i,
+                "winner_cost": 100.0 - i * 0.5,
+                "best_cost": 100.0 - i * 0.5,
+            }
+            for i in range(200)
+        ]
+        text = convergence_curve(records, width=40)
+        assert "200 iteration(s)" in text
+        # No rendered row is wider than the requested plot width + frame.
+        for line in text.splitlines():
+            if "|" in line:
+                inner = line.split("|")[1]
+                assert len(inner) <= 40
