@@ -18,6 +18,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from ..analysis.sanitizer import verification_enabled
+from ..analysis.verifier import verify_aco_result, verify_order
 from ..config import ACOParams
 from ..ddg.graph import DDG
 from ..ddg.lower_bounds import RegionBounds, region_bounds
@@ -91,6 +93,7 @@ class SequentialACOScheduler:
         ilp_heuristic: Optional[GuidingHeuristic] = None,
         cost_model: CPUCostModel = DEFAULT_CPU_COST,
         telemetry: Optional[Telemetry] = None,
+        verify: Optional[bool] = None,
     ):
         self.machine = machine
         self.params = params or ACOParams()
@@ -99,11 +102,17 @@ class SequentialACOScheduler:
         self.ilp_heuristic = ilp_heuristic or CriticalPathHeuristic()
         self.cost_model = cost_model
         self._telemetry = telemetry
+        self._verify = verify
 
     @property
     def telemetry(self) -> Telemetry:
         """The injected telemetry, or the process-wide one (resolved late)."""
         return self._telemetry if self._telemetry is not None else get_telemetry()
+
+    @property
+    def verify_enabled(self) -> bool:
+        """Explicit ``verify`` argument, else ``REPRO_VERIFY`` (resolved late)."""
+        return self._verify if self._verify is not None else verification_enabled()
 
     def _publish_construction_metrics(
         self, tele: Telemetry, stats: ConstructionStats
@@ -348,10 +357,21 @@ class SequentialACOScheduler:
             ddg, bounds, best_order, best_peak, rng, reference_schedule
         )
         final_peak = peak_pressure(schedule)
-        return ACOResult(
+        result = ACOResult(
             schedule=schedule,
             peak=final_peak,
             rp_cost_value=rp_cost(final_peak, self.machine),
             pass1=pass1,
             pass2=pass2,
         )
+        if self.verify_enabled:
+            report = verify_order(ddg, best_order)
+            report.merge(
+                verify_aco_result(
+                    result, ddg, self.machine,
+                    target_aprp=self.machine.aprp(best_peak),
+                )
+            )
+            report.publish(self.telemetry, ddg.region.name)
+            report.raise_if_failed()
+        return result

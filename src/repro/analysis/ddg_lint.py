@@ -1,0 +1,233 @@
+"""DDG and transitive-closure invariant linting.
+
+The schedulers assume a long list of silent structural invariants about
+:class:`~repro.ddg.graph.DDG` and
+:class:`~repro.ddg.closure.TransitiveClosure` — edges follow program order,
+successor/predecessor lists are exact duals, reachability bitsets are the
+true transitive closure, and the Section V-A ready-list bound really does
+dominate every ready list the colony ever builds. This module rechecks all
+of them independently (reachability is recomputed with an iterative DFS,
+not the bitset sweep the closure itself uses).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ddg.closure import TransitiveClosure
+from ..ddg.graph import DDG, DepKind
+from .report import VerificationReport
+
+
+def lint_ddg(ddg: DDG) -> VerificationReport:
+    """Check a DDG's structural invariants."""
+    report = VerificationReport("DDG for %r" % ddg.region.name)
+    n = ddg.num_instructions
+    report.check(
+        "node-count",
+        n == len(ddg.region),
+        "DDG has %d nodes for %d instructions" % (n, len(ddg.region)),
+    )
+
+    succ_of = [dict(ddg.successors[i]) for i in range(n)]
+    pred_of = [dict(ddg.predecessors[i]) for i in range(n)]
+
+    for i in range(n):
+        for j, latency in ddg.successors[i]:
+            report.check(
+                "edge-range",
+                0 <= j < n and j != i,
+                "edge %d -> %d leaves the region or is a self-loop" % (i, j),
+            )
+            if not (0 <= j < n):
+                continue
+            report.check(
+                "program-order",
+                i < j,
+                "edge %d -> %d goes against program order" % (i, j),
+            )
+            report.check(
+                "latency-sanity",
+                latency >= 0,
+                "edge %d -> %d has negative latency %d" % (i, j, latency),
+            )
+            report.check(
+                "duality",
+                pred_of[j].get(i) == latency,
+                "edge %d -> %d (latency %d) missing or mislabelled in the "
+                "predecessor list" % (i, j, latency),
+            )
+        for p, latency in ddg.predecessors[i]:
+            report.check(
+                "duality",
+                0 <= p < n and succ_of[p].get(i) == latency,
+                "predecessor edge %d -> %d (latency %d) missing from the "
+                "successor list" % (p, i, latency),
+            )
+
+    # Merged lists carry the max latency over parallel raw edges, and every
+    # raw edge must be represented.
+    merged = {}
+    for edge in ddg.edges:
+        report.check(
+            "raw-edge-kind",
+            isinstance(edge.kind, DepKind),
+            "edge %d -> %d has unknown kind %r" % (edge.src, edge.dst, edge.kind),
+        )
+        if edge.kind is DepKind.FLOW:
+            report.check(
+                "flow-latency",
+                edge.latency >= 1,
+                "flow edge %d -> %d has latency %d < 1"
+                % (edge.src, edge.dst, edge.latency),
+            )
+        key = (edge.src, edge.dst)
+        merged[key] = max(merged.get(key, 0), edge.latency)
+    for (src, dst), latency in merged.items():
+        report.check(
+            "merge-consistency",
+            0 <= src < n and succ_of[src].get(dst) == latency,
+            "merged edge %d -> %d should carry latency %d; successor list "
+            "says %r" % (src, dst, latency, succ_of[src].get(dst) if src < n else None),
+        )
+
+    # Derived fields.
+    report.check(
+        "pred-counts",
+        tuple(ddg.num_predecessors) == tuple(len(p) for p in ddg.predecessors),
+        "num_predecessors disagrees with the predecessor lists",
+    )
+    report.check(
+        "roots",
+        tuple(ddg.roots) == tuple(i for i in range(n) if not ddg.predecessors[i]),
+        "roots list disagrees with the predecessor lists",
+    )
+    report.check(
+        "leaves",
+        tuple(ddg.leaves) == tuple(i for i in range(n) if not ddg.successors[i]),
+        "leaves list disagrees with the successor lists",
+    )
+    return report
+
+
+def _reachable_bitsets(ddg: DDG) -> List[int]:
+    """Reachability recomputed by per-node iterative DFS (the referee)."""
+    n = ddg.num_instructions
+    out = [0] * n
+    for start in range(n):
+        seen = 0
+        stack = [dst for dst, _lat in ddg.successors[start]]
+        while stack:
+            node = stack.pop()
+            bit = 1 << node
+            if seen & bit:
+                continue
+            seen |= bit
+            stack.extend(dst for dst, _lat in ddg.successors[node])
+        out[start] = seen
+    return out
+
+
+def lint_closure(closure: TransitiveClosure, ddg=None) -> VerificationReport:
+    """Check a closure's bitsets against an independent recomputation."""
+    if ddg is None:
+        ddg = closure.ddg
+    report = VerificationReport("closure for %r" % ddg.region.name)
+    n = closure.num_instructions
+    report.check(
+        "node-count",
+        n == ddg.num_instructions,
+        "closure covers %d nodes for a %d-node DDG" % (n, ddg.num_instructions),
+    )
+    all_mask = (1 << n) - 1
+    truth = _reachable_bitsets(ddg)
+    for i in range(n):
+        desc = closure.descendants[i]
+        anc = closure.ancestors[i]
+        report.check(
+            "irreflexive",
+            not (desc >> i) & 1 and not (anc >> i) & 1,
+            "instruction %d reaches itself" % i,
+        )
+        report.check(
+            "antisymmetry",
+            desc & anc == 0,
+            "instruction %d has a node that is both ancestor and descendant "
+            "(dependence cycle)" % i,
+        )
+        report.check(
+            "transitivity",
+            desc == truth[i],
+            "descendants[%d] disagrees with DFS reachability" % i,
+        )
+        report.check(
+            "program-order",
+            desc & ((1 << (i + 1)) - 1) == 0,
+            "instruction %d reaches an earlier instruction" % i,
+        )
+        report.check(
+            "independence",
+            closure.independent[i] == all_mask & ~(desc | anc | (1 << i)),
+            "independent[%d] disagrees with the reachability bitsets" % i,
+        )
+    # Duality needs the full ancestor matrix: j in desc[i] <=> i in anc[j].
+    for i in range(n):
+        desc = closure.descendants[i]
+        ok = all(
+            ((closure.ancestors[j] >> i) & 1) == ((desc >> j) & 1)
+            for j in range(n)
+        )
+        report.check(
+            "duality",
+            ok,
+            "descendants[%d] and the ancestor bitsets disagree" % i,
+        )
+    return report
+
+
+def max_antichain_size(closure: TransitiveClosure) -> int:
+    """Largest pairwise-independent set, by brute-force enumeration.
+
+    Exponential — only for cross-checking ``ready_list_upper_bound`` on
+    small DDGs in tests.
+    """
+    n = closure.num_instructions
+    best = 0
+
+    def extend(candidates: List[int], size: int) -> None:
+        nonlocal best
+        if size + len(candidates) <= best:
+            return
+        best = max(best, size)
+        for pos, node in enumerate(candidates):
+            rest = [
+                other
+                for other in candidates[pos + 1:]
+                if closure.are_independent(node, other)
+            ]
+            extend(rest, size + 1)
+
+    extend(list(range(n)), 0)
+    return best
+
+
+def audit_ready_bound(
+    closure: TransitiveClosure, observed_peak: int
+) -> VerificationReport:
+    """Check an observed ready-list peak against the Section V-A bound.
+
+    ``observed_peak`` is the largest available-list length any ant ever
+    held (the colony's ``ready_peak``, exported on ``kernel_launch``
+    events); the transitive-closure bound must dominate it.
+    """
+    report = VerificationReport("ready-list bound")
+    bound = closure.ready_list_upper_bound()
+    report.stats["bound"] = bound
+    report.stats["observed_peak"] = observed_peak
+    report.check(
+        "ready-bound",
+        0 <= observed_peak <= bound,
+        "observed ready-list peak %d exceeds the closure bound %d"
+        % (observed_peak, bound),
+    )
+    return report

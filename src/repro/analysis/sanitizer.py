@@ -1,0 +1,233 @@
+"""The gpusim sanitizer: checked SoA accessors and lockstep invariants.
+
+Section V-A replaces device-side dynamic allocation with fixed-capacity
+structure-of-arrays buffers indexed by computed offsets — exactly the kind
+of code where an off-by-one silently corrupts a *neighbouring ant's* state
+instead of faulting (the GPU-ACO failure mode Skinderowicz documents).
+When sanitize mode is on (``REPRO_SANITIZE=1``, ``--verify``, or an
+explicit ``verify=True`` on the parallel scheduler), the colony:
+
+* wraps its per-ant state arrays in :class:`CheckedArray`, which rejects
+  *negative* computed indices (numpy would silently wrap them to the end
+  of the buffer — the Python analogue of an out-of-bounds device read);
+* runs :meth:`ColonySanitizer.check_step` after every lockstep step,
+  which audits the available-list bound of Section V-A, the ``-1`` poison
+  discipline on uninitialized slots, per-ant consistency between the
+  available list and the issued prefix (a cross-ant write would break
+  these with overwhelming probability), and non-negative counters;
+* asserts wavefront-uniform explore/exploit draws whenever the
+  wavefront-level-choice divergence optimization claims uniformity.
+
+All failures raise :class:`~repro.errors.SanitizerError` immediately —
+a sanitizer that reports late is a sanitizer that gets ignored.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SanitizerError
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` (or ``REPRO_VERIFY``) is set."""
+    return (
+        os.environ.get("REPRO_SANITIZE", "").lower() in _TRUTHY
+        or verification_enabled()
+    )
+
+
+def verification_enabled() -> bool:
+    """True when ``REPRO_VERIFY`` is set (the ``--verify`` CLI flag)."""
+    return os.environ.get("REPRO_VERIFY", "").lower() in _TRUTHY
+
+
+# -- checked arrays ----------------------------------------------------------
+
+
+class CheckedArray(np.ndarray):
+    """An ndarray that refuses negative computed indices.
+
+    Negative indices are Python sugar, but in SoA kernel code a computed
+    index of ``-1`` is an uninitialized-slot read that numpy would quietly
+    wrap to the *last* element. The sanitizer's arrays raise instead.
+    Slices, masks and ``None`` axes pass through untouched.
+    """
+
+    _name = "array"
+
+    def __array_finalize__(self, obj):
+        if obj is not None:
+            self._name = getattr(obj, "_name", "array")
+
+    def _check_key(self, key) -> None:
+        parts = key if isinstance(key, tuple) else (key,)
+        for part in parts:
+            if part is None or part is Ellipsis or isinstance(part, slice):
+                continue
+            if isinstance(part, (bool, np.bool_)):
+                continue
+            if isinstance(part, (int, np.integer)):
+                if part < 0:
+                    raise SanitizerError(
+                        "negative index %d into %s (uninitialized-slot read?)"
+                        % (int(part), self._name)
+                    )
+                continue
+            arr = np.asarray(part)
+            if arr.dtype == bool or arr.size == 0:
+                continue
+            if np.issubdtype(arr.dtype, np.integer) and int(arr.min()) < 0:
+                raise SanitizerError(
+                    "negative index %d into %s (uninitialized-slot read?)"
+                    % (int(arr.min()), self._name)
+                )
+
+    def __getitem__(self, key):
+        self._check_key(key)
+        return super().__getitem__(key)
+
+    def __setitem__(self, key, value):
+        self._check_key(key)
+        super().__setitem__(key, value)
+
+
+def checked(array: np.ndarray, name: str) -> CheckedArray:
+    """Wrap ``array`` (shared memory, no copy) in a named CheckedArray."""
+    view = array.view(CheckedArray)
+    view._name = name
+    return view
+
+
+# -- the colony sanitizer ----------------------------------------------------
+
+
+class ColonySanitizer:
+    """Lockstep invariant checks for the vectorized colony."""
+
+    def __init__(self):
+        self.steps_checked = 0
+
+    # -- one-time layout audit ----------------------------------------------
+
+    def audit_layout(self, colony) -> None:
+        """Check that per-ant rows occupy disjoint memory (no aliasing)."""
+        for name in ("avail_ids", "avail_release", "pred_remaining",
+                     "remaining_uses", "order_buf", "cycles_buf"):
+            arr = getattr(colony, name)
+            if arr.ndim != 2 or arr.shape[0] != colony.num_ants:
+                raise SanitizerError(
+                    "%s is not a per-ant 2-D array (shape %r for %d ants)"
+                    % (name, arr.shape, colony.num_ants)
+                )
+            row_bytes = arr.shape[1] * arr.itemsize
+            if arr.shape[0] > 1 and abs(arr.strides[0]) < row_bytes:
+                raise SanitizerError(
+                    "%s rows overlap in memory (stride %d < row size %d): "
+                    "ants share state" % (name, arr.strides[0], row_bytes)
+                )
+        cap = colony.data.ready_capacity
+        if colony.avail_ids.shape[1] != cap:
+            raise SanitizerError(
+                "available-list width %d does not match the declared "
+                "capacity %d" % (colony.avail_ids.shape[1], cap)
+            )
+
+    # -- divergence uniformity ----------------------------------------------
+
+    def check_exploit_uniform(
+        self, exploit: np.ndarray, num_wavefronts: int, wavefront_size: int
+    ) -> None:
+        """Wavefront-level draws must be identical across a wavefront's lanes."""
+        lanes = np.asarray(exploit).reshape(num_wavefronts, wavefront_size)
+        uniform = (lanes == lanes[:, :1]).all(axis=1)
+        if not uniform.all():
+            bad = int(np.flatnonzero(~uniform)[0])
+            raise SanitizerError(
+                "wavefront %d mixes explore and exploit lanes although "
+                "wavefront-level choice is on" % bad
+            )
+
+    # -- per-step state audit ------------------------------------------------
+
+    def check_step(self, colony) -> None:
+        """Audit the SoA state after one lockstep construction step."""
+        self.steps_checked += 1
+        d = colony.data
+        cap = d.ready_capacity
+        n = d.num_instructions
+        avail_len = np.asarray(colony.avail_len)
+        avail_ids = np.asarray(colony.avail_ids)
+        order_buf = np.asarray(colony.order_buf)
+        scheduled = np.asarray(colony.scheduled)
+
+        if avail_len.min() < 0:
+            raise SanitizerError("negative available-list length")
+        peak = int(avail_len.max())
+        if peak > cap:
+            raise SanitizerError(
+                "available list grew to %d entries; the Section V-A bound "
+                "sized the buffer at %d" % (peak, cap)
+            )
+        cols = np.arange(avail_ids.shape[1])[None, :]
+        valid = cols < avail_len[:, None]
+        ids = avail_ids[valid]
+        if ids.size and (ids.min() < 0 or ids.max() >= n):
+            raise SanitizerError(
+                "available list holds instruction id outside [0, %d)" % n
+            )
+        poison = avail_ids[~valid]
+        if poison.size and (poison != -1).any():
+            raise SanitizerError(
+                "slot beyond the available-list length is not poisoned "
+                "(-1): stale or cross-ant write"
+            )
+        if scheduled.min() < 0 or scheduled.max() > n:
+            raise SanitizerError("scheduled-instruction counter out of range")
+        issued_valid = np.arange(order_buf.shape[1])[None, :] < scheduled[:, None]
+        issued = np.where(issued_valid, order_buf, -1)
+        if (np.where(issued_valid, issued, 0) < 0).any() or issued.max() >= n:
+            raise SanitizerError(
+                "issued prefix of order_buf holds an invalid instruction id"
+            )
+        if (np.where(issued_valid, -1, order_buf) != -1).any():
+            raise SanitizerError(
+                "order_buf beyond the issued prefix is not poisoned (-1)"
+            )
+        # Per-ant disjointness and uniqueness: a cross-ant or double write
+        # shows up as a duplicate id within one ant's issued+available set.
+        marks = np.zeros((colony.num_ants, n), dtype=np.int32)
+        ants = np.nonzero(issued_valid)[0]
+        np.add.at(marks, (ants, order_buf[issued_valid]), 1)
+        vants = np.nonzero(valid)[0]
+        np.add.at(marks, (vants, avail_ids[valid]), 1)
+        if marks.max() > 1:
+            ant, inst = np.unravel_index(int(np.argmax(marks)), marks.shape)
+            raise SanitizerError(
+                "instruction %d appears %d times in ant %d's issued/"
+                "available state (cross-ant aliasing or duplicate issue)"
+                % (int(inst), int(marks[ant, inst]), int(ant))
+            )
+        if np.asarray(colony.pred_remaining).min() < 0:
+            raise SanitizerError("negative unscheduled-predecessor counter")
+        if np.asarray(colony.current).min() < 0:
+            raise SanitizerError("negative register-pressure counter")
+
+    # -- end of iteration ----------------------------------------------------
+
+    def check_iteration_end(self, colony, winner: Optional[int]) -> None:
+        """The winning ant's order must be a complete permutation."""
+        if winner is None:
+            return
+        n = colony.data.num_instructions
+        order = np.asarray(colony.order_buf)[winner]
+        if sorted(int(i) for i in order) != list(range(n)):
+            raise SanitizerError(
+                "winning ant %d produced an incomplete or duplicated "
+                "instruction order" % winner
+            )

@@ -1,0 +1,334 @@
+"""Independent schedule verification (the ``-verify-machineinstrs`` analogue).
+
+This module rechecks everything a :class:`~repro.schedule.schedule.Schedule`
+claims, *without trusting any of the machinery that produced it*:
+
+* **structural completeness** — every instruction issued exactly once, a
+  cycle for each instruction, no negative cycles, no forged issue order;
+* **dependence/latency legality** — every DDG edge satisfied (program-order
+  only when ``respect_latencies=False``, matching pass-1 schedules);
+* **issue-width** — no cycle issues more than the machine allows;
+* **stall classification** — every empty cycle is classified *necessary*
+  (some dependence forces it) or *optional* (an unissued instruction could
+  legally have filled it);
+* **APRP recertification** — peak register pressure is recomputed with an
+  interval-based liveness algorithm deliberately different from the
+  incremental :class:`~repro.rp.tracker.PressureTracker`, and must
+  bit-match :func:`repro.rp.liveness.peak_pressure`, the scheduler's
+  claimed peak, the claimed RP cost, and (for pass-2 schedules) stay within
+  the pass-1 APRP target.
+
+The recomputation shares the tracker's liveness convention (Section II-A /
+Figure 1): a register is born at its defining instruction (live-ins at
+entry), dies at its last use unless live-out, last-uses close before the
+same slot's defs open, and a dead definition still occupies its register
+for the one slot where it issues.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..ddg.graph import DDG
+from ..ir.block import SchedulingRegion
+from ..ir.registers import RegisterClass
+from ..machine.model import MachineModel
+from ..rp.liveness import peak_pressure
+from .report import VerificationReport
+
+
+# -- independent liveness ----------------------------------------------------
+
+
+def recompute_peak_pressure(
+    region: SchedulingRegion, order: Sequence[int]
+) -> Dict[RegisterClass, int]:
+    """Per-class PRP of ``order``, recomputed from live intervals.
+
+    Unlike the incremental tracker, this derives each register's live
+    sample-range in closed form from its def/use positions and counts
+    interval overlap per sample point. Sample point ``-1`` is region entry
+    (live-ins only); sample ``k`` is "right after the k-th issued
+    instruction", with last-uses closed and the slot's defs open.
+    """
+    n = len(region)
+    position = {inst_index: pos for pos, inst_index in enumerate(order)}
+
+    # Def positions and use-occurrence positions per register, in issue order.
+    def_positions: Dict[object, list] = {}
+    use_positions: Dict[object, list] = {}
+    for inst in region:
+        pos = position[inst.index]
+        for reg in inst.uses:
+            use_positions.setdefault(reg, []).append(pos)
+        for reg in inst.defs:
+            def_positions.setdefault(reg, []).append(pos)
+
+    classes = region.register_classes()
+    counts = [{cls: 0 for cls in classes} for _ in range(n + 1)]
+
+    def mark_live(reg, sample: int) -> None:
+        counts[sample + 1][reg.reg_class] += 1
+
+    for reg in region.all_registers:
+        defs = sorted(def_positions.get(reg, ()))
+        uses = sorted(use_positions.get(reg, ()))
+        live_in = reg in region.live_in
+        live_out = reg in region.live_out
+        def_set = set(defs)
+        born = -1 if live_in else (defs[0] if defs else None)
+        if born is None:
+            continue  # never defined, never live-in: cannot become live
+        if born == -1:
+            mark_live(reg, -1)
+        for sample in range(n):
+            if sample < born:
+                continue
+            remaining = sum(1 for u in uses if u > sample)
+            alive = (
+                live_out
+                or remaining > 0
+                or sample in def_set
+                or (not uses and not defs)  # untouched live-in: never killed
+                or (not uses and live_in and defs and sample < defs[0])
+            )
+            if alive:
+                mark_live(reg, sample)
+
+    peak = {cls: 0 for cls in classes}
+    for sample_counts in counts:
+        for cls, value in sample_counts.items():
+            if value > peak[cls]:
+                peak[cls] = value
+    return peak
+
+
+# -- stall classification ----------------------------------------------------
+
+
+def classify_stalls(schedule, ddg: DDG) -> Dict[str, int]:
+    """Split the schedule's empty cycles into necessary vs. optional.
+
+    A stall cycle ``c`` is *necessary* when every instruction issued after
+    ``c`` has a predecessor whose latency (or issue position) keeps it out
+    of ``c``; otherwise some instruction could legally have filled the
+    cycle and the stall is *optional* (inserted by the pass-2 heuristic).
+    """
+    cycles = schedule.cycles
+    used = set(cycles)
+    necessary = optional = 0
+    length = max(cycles) + 1 if cycles else 0
+    for c in range(length):
+        if c in used:
+            continue
+        movable = False
+        for j in range(ddg.num_instructions):
+            if cycles[j] <= c:
+                continue
+            if all(cycles[p] + lat <= c for p, lat in ddg.predecessors[j]):
+                movable = True
+                break
+        if movable:
+            optional += 1
+        else:
+            necessary += 1
+    return {"necessary_stalls": necessary, "optional_stalls": optional}
+
+
+# -- order verification ------------------------------------------------------
+
+
+def verify_order(ddg: DDG, order: Sequence[int]) -> VerificationReport:
+    """Check a raw instruction order (a pass-1 product) against its DDG."""
+    report = VerificationReport("order for %r" % ddg.region.name)
+    n = ddg.num_instructions
+    counts = Counter(order)
+    missing = [i for i in range(n) if counts.get(i, 0) == 0]
+    duplicated = sorted(i for i, c in counts.items() if c > 1)
+    alien = sorted(i for i in counts if not (0 <= i < n))
+    report.check(
+        "missing-instruction",
+        not missing,
+        "instruction(s) never issued: %s" % missing[:8],
+    )
+    report.check(
+        "duplicate-issue",
+        not duplicated,
+        "instruction(s) issued more than once: %s" % duplicated[:8],
+    )
+    report.check(
+        "alien-instruction",
+        not alien,
+        "order references instruction(s) outside the region: %s" % alien[:8],
+    )
+    if report.ok:
+        position = {index: pos for pos, index in enumerate(order)}
+        for src in range(n):
+            for dst, _lat in ddg.successors[src]:
+                report.check(
+                    "order-dependence",
+                    position[src] < position[dst],
+                    "dependence %s -> %s issued out of order"
+                    % (ddg.region[src].label, ddg.region[dst].label),
+                )
+    return report
+
+
+# -- schedule verification ---------------------------------------------------
+
+
+def verify_schedule(
+    schedule,
+    ddg: DDG,
+    machine: Optional[MachineModel] = None,
+    respect_latencies: bool = True,
+    expected_peak: Optional[Mapping[RegisterClass, int]] = None,
+    expected_rp_cost: Optional[int] = None,
+    target_aprp: Optional[Mapping[RegisterClass, int]] = None,
+) -> VerificationReport:
+    """Independently recheck every invariant of a complete schedule.
+
+    ``expected_peak`` / ``expected_rp_cost`` are the producing scheduler's
+    claims (recertified against the from-scratch recomputation);
+    ``target_aprp`` is the pass-1 APRP target a pass-2 schedule must never
+    exceed. ``schedule`` is duck-typed (``region`` + ``cycles`` suffice) so
+    corrupted or forged objects can be fed to the verifier in tests.
+    """
+    region = ddg.region
+    report = VerificationReport("schedule for %r" % region.name)
+
+    report.check(
+        "region-mismatch",
+        schedule.region == region,
+        "schedule region %r does not match DDG region %r"
+        % (getattr(schedule.region, "name", schedule.region), region.name),
+    )
+
+    cycles = tuple(schedule.cycles)
+    n = ddg.num_instructions
+    if not report.check(
+        "incomplete",
+        len(cycles) == n,
+        "schedule assigns %d cycle(s) for %d instruction(s)" % (len(cycles), n),
+    ):
+        return report
+    report.check(
+        "negative-cycle",
+        all(c >= 0 for c in cycles),
+        "schedule contains negative cycle assignments",
+    )
+
+    order = getattr(schedule, "order", None)
+    if order is None:
+        order = tuple(
+            index
+            for _c, index in sorted((c, i) for i, c in enumerate(cycles))
+        )
+    report.check(
+        "duplicate-issue",
+        sorted(order) == list(range(n)),
+        "issue order is not a permutation of the region's instructions",
+    )
+    if not report.ok:
+        return report
+
+    claimed_length = getattr(schedule, "length", None)
+    true_length = max(cycles) + 1 if cycles else 0
+    if claimed_length is not None:
+        report.check(
+            "length-mismatch",
+            claimed_length == true_length,
+            "schedule claims length %d; cycles say %d"
+            % (claimed_length, true_length),
+        )
+
+    # Dependence / latency legality.
+    for src in range(n):
+        for dst, latency in ddg.successors[src]:
+            required = latency if respect_latencies else 1
+            report.check(
+                "latency" if respect_latencies else "dependence",
+                cycles[dst] - cycles[src] >= required,
+                "dependence %s -> %s needs %d cycle(s); got %d"
+                % (
+                    region[src].label,
+                    region[dst].label,
+                    required,
+                    cycles[dst] - cycles[src],
+                ),
+            )
+
+    # Issue width.
+    issue_width = machine.issue_width if machine is not None else 1
+    per_cycle = Counter(cycles)
+    for cycle, count in sorted(per_cycle.items()):
+        if count > issue_width:
+            report.add_violation(
+                "issue-width",
+                "cycle %d issues %d instruction(s); issue width is %d"
+                % (cycle, count, issue_width),
+            )
+
+    # Stall classification (informational; stats only).
+    report.stats.update(classify_stalls(schedule, ddg))
+
+    # APRP recertification from scratch.
+    recertified = recompute_peak_pressure(region, order)
+    report.stats["recertified_peak"] = dict(recertified)
+    tracker_peak = peak_pressure(schedule) if hasattr(schedule, "order") else None
+    if tracker_peak is not None:
+        report.check(
+            "liveness-mismatch",
+            recertified == tracker_peak,
+            "interval liveness says %r; rp tracker says %r"
+            % (recertified, tracker_peak),
+        )
+    if expected_peak is not None:
+        report.check(
+            "claimed-peak",
+            dict(expected_peak) == recertified,
+            "scheduler claimed peak %r; recertified peak is %r"
+            % (dict(expected_peak), recertified),
+        )
+    if machine is not None:
+        from ..rp.cost import rp_cost
+
+        recertified_cost = rp_cost(recertified, machine)
+        report.stats["recertified_rp_cost"] = recertified_cost
+        report.stats["recertified_aprp"] = machine.aprp(recertified)
+        if expected_rp_cost is not None:
+            report.check(
+                "claimed-cost",
+                expected_rp_cost == recertified_cost,
+                "scheduler claimed RP cost %d; recertified cost is %d"
+                % (expected_rp_cost, recertified_cost),
+            )
+        if target_aprp is not None:
+            aprp = machine.aprp(recertified)
+            for cls, limit in target_aprp.items():
+                report.check(
+                    "aprp-target",
+                    aprp.get(cls, 0) <= limit,
+                    "pass-2 APRP %d for %s exceeds the pass-1 target %d"
+                    % (aprp.get(cls, 0), cls, limit),
+                )
+    return report
+
+
+def verify_aco_result(
+    result,
+    ddg: DDG,
+    machine: MachineModel,
+    target_aprp: Optional[Mapping[RegisterClass, int]] = None,
+) -> VerificationReport:
+    """Recheck a two-pass ACO result: legality plus all of its claims."""
+    return verify_schedule(
+        result.schedule,
+        ddg,
+        machine,
+        respect_latencies=True,
+        expected_peak=result.peak,
+        expected_rp_cost=result.rp_cost_value,
+        target_aprp=target_aprp,
+    )

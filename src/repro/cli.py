@@ -10,6 +10,11 @@ ACO iterations, simulated kernel launches — the schema of
 :mod:`repro.telemetry.schema`) to a JSONL file and prints its profile;
 ``--metrics`` collects and prints the metrics registry. Both leave results
 bit-identical: telemetry observes, it never steers.
+
+Verification: ``--verify`` turns on the scheduler sanitizer
+(:mod:`repro.analysis`) — every shipped schedule is independently
+rechecked, DDGs are linted, and the GPU simulation runs with checked SoA
+accessors. Results stay bit-identical; the run only gets slower.
 """
 
 from __future__ import annotations
@@ -67,7 +72,21 @@ def main(argv: List[str] = None) -> int:
         help="collect telemetry metrics during the run and print them at "
         "the end",
     )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the scheduler sanitizer: independent verification of "
+        "every shipped schedule, DDG/closure linting and checked SoA "
+        "accessors in the GPU simulation (sets REPRO_VERIFY/REPRO_SANITIZE; "
+        "see repro.analysis)",
+    )
     args = parser.parse_args(argv)
+
+    if args.verify:
+        import os
+
+        os.environ["REPRO_VERIFY"] = "1"
+        os.environ["REPRO_SANITIZE"] = "1"
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

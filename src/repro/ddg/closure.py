@@ -87,4 +87,6 @@ class TransitiveClosure:
         independent_count(i)`` entries. On the paper's Figure 1 DDG this
         gives 5 where the trivial bound is 7.
         """
+        if self.num_instructions == 0:
+            return 0
         return 1 + self.max_independent_count()

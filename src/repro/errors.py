@@ -52,3 +52,19 @@ class PipelineError(ReproError):
 
 class TelemetryError(ReproError):
     """Telemetry misuse: bad metric kinds, schema-invalid trace records."""
+
+
+class AnalysisError(ReproError):
+    """Static-analysis / verification layer failure (repro.analysis)."""
+
+
+class VerificationError(AnalysisError):
+    """An independent verification pass found one or more violations."""
+
+    def __init__(self, message: str, violations=()):
+        self.violations = tuple(violations)
+        super().__init__(message)
+
+
+class SanitizerError(AnalysisError):
+    """The gpusim sanitizer caught a memory/uniformity invariant violation."""

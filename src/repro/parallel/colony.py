@@ -31,6 +31,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.sanitizer import ColonySanitizer, checked, sanitize_enabled
 from ..config import ACOParams
 from ..gpusim.kernel import KernelAccounting
 from ..ir.registers import RegisterClass
@@ -67,12 +68,16 @@ class Colony:
         policy: DivergencePolicy,
         accounting: KernelAccounting,
         rng: np.random.Generator,
+        sanitizer: Optional[ColonySanitizer] = None,
     ):
         self.data = data
         self.params = params
         self.policy = policy
         self.accounting = accounting
         self.rng = rng
+        if sanitizer is None and sanitize_enabled():
+            sanitizer = ColonySanitizer()
+        self.sanitizer = sanitizer
 
         self.num_ants = policy.num_ants
         self.num_wavefronts = policy.num_wavefronts
@@ -116,6 +121,20 @@ class Colony:
         self.ready_peak = 0
         self.dead_ants_total = 0
         self.constructions_total = 0
+
+        if self.sanitizer is not None:
+            # Sanitize mode: per-ant SoA state goes behind checked accessors
+            # (a computed index of -1 is an uninitialized-slot read that
+            # plain numpy would silently wrap to the last element).
+            self.avail_ids = checked(self.avail_ids, "avail_ids")
+            self.avail_release = checked(self.avail_release, "avail_release")
+            self.pred_remaining = checked(self.pred_remaining, "pred_remaining")
+            self.earliest = checked(self.earliest, "earliest")
+            self.remaining_uses = checked(self.remaining_uses, "remaining_uses")
+            self.live = checked(self.live, "live")
+            self.order_buf = checked(self.order_buf, "order_buf")
+            self.cycles_buf = checked(self.cycles_buf, "cycles_buf")
+            self.sanitizer.audit_layout(self)
 
     # -- per-iteration reset ---------------------------------------------------
 
@@ -195,6 +214,10 @@ class Colony:
     def _select(self, scores: np.ndarray, doers: np.ndarray) -> np.ndarray:
         """Pick a candidate column per ant (exploit argmax / explore roulette)."""
         exploit = self.policy.exploit_draw(self.rng, self.params.exploitation_prob)
+        if self.sanitizer is not None and self.policy.wavefront_level_choice:
+            self.sanitizer.check_exploit_uniform(
+                exploit, self.num_wavefronts, self.wavefront_size
+            )
         sel_exploit = np.argmax(scores, axis=1)
         cum = np.cumsum(scores, axis=1)
         total = cum[:, -1]
@@ -390,8 +413,12 @@ class Colony:
             scan = self.avail_len.astype(np.int64) + 1  # pre-removal size
             self._schedule_chosen(self.active, chosen, cycle=step)
             self._charge_step(self.active, scan, self.active, chosen)
+            if self.sanitizer is not None:
+                self.sanitizer.check_step(self)
         costs = self._rp_costs()
         winner = int(np.argmin(costs))
+        if self.sanitizer is not None:
+            self.sanitizer.check_iteration_end(self, winner)
         return ColonyIterationResult(
             winner_order=tuple(int(i) for i in self.order_buf[winner]),
             winner_cycles=None,
@@ -509,6 +536,8 @@ class Colony:
             chosen = self._remove_from_avail(doers, sel)
             self._schedule_chosen(doers, chosen, cycle=cycle)
             self._charge_step(self.active, scan, doers, chosen, stalling=stalling)
+            if self.sanitizer is not None:
+                self.sanitizer.check_step(self)
 
             # Safety net: the pruning above should make violations
             # impossible, but keep the paper's terminate-on-violation rule.
@@ -538,6 +567,8 @@ class Colony:
         lengths = self.cycles_buf.max(axis=1) + 1
         lengths = np.where(finished, lengths, np.iinfo(np.int32).max)
         winner = int(np.argmin(lengths))
+        if self.sanitizer is not None:
+            self.sanitizer.check_iteration_end(self, winner)
         order = tuple(int(i) for i in self.order_buf[winner])
         cycles = tuple(int(c) for c in self.cycles_buf[winner])
         return ColonyIterationResult(

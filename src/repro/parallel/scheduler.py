@@ -27,6 +27,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..aco.pheromone import PheromoneTable
+from ..analysis.sanitizer import ColonySanitizer, verification_enabled
+from ..analysis.verifier import verify_aco_result, verify_order
 from ..aco.sequential import PassResult
 from ..aco.termination import TerminationTracker
 from ..config import ACOParams, GPUParams
@@ -87,6 +89,7 @@ class ParallelACOScheduler:
         gpu_params: Optional[GPUParams] = None,
         device: Optional[GPUDevice] = None,
         telemetry: Optional[Telemetry] = None,
+        verify: Optional[bool] = None,
     ):
         self.machine = machine
         self.params = params or ACOParams()
@@ -95,11 +98,17 @@ class ParallelACOScheduler:
         self.gpu_params = gpu_params or GPUParams()
         self.gpu_params.validate(self.device.wavefront_size)
         self._telemetry = telemetry
+        self._verify = verify
 
     @property
     def telemetry(self) -> Telemetry:
         """The injected telemetry, or the process-wide one (resolved late)."""
         return self._telemetry if self._telemetry is not None else get_telemetry()
+
+    @property
+    def verify_enabled(self) -> bool:
+        """Explicit ``verify`` argument, else ``REPRO_VERIFY`` (resolved late)."""
+        return self._verify if self._verify is not None else verification_enabled()
 
     def _publish_launch(
         self,
@@ -207,7 +216,10 @@ class ParallelACOScheduler:
             dynamic_alloc=not self.gpu_params.soa_layout,
         )
         rng = np.random.default_rng(seed)
-        colony = Colony(data, self.params, policy, accounting, rng)
+        # In verify mode, sanitize the colony too; otherwise leave resolution
+        # to the colony itself (the REPRO_SANITIZE knob).
+        sanitizer = ColonySanitizer() if self.verify_enabled else None
+        colony = Colony(data, self.params, policy, accounting, rng, sanitizer=sanitizer)
         return colony, accounting
 
     # -- pass 1 ----------------------------------------------------------------
@@ -436,10 +448,21 @@ class ParallelACOScheduler:
             ddg, data, bounds, best_order, best_peak, seed, reference_schedule
         )
         final_peak = peak_pressure(schedule)
-        return ParallelACOResult(
+        result = ParallelACOResult(
             schedule=schedule,
             peak=final_peak,
             rp_cost_value=rp_cost(final_peak, self.machine),
             pass1=pass1,
             pass2=pass2,
         )
+        if self.verify_enabled:
+            report = verify_order(ddg, best_order)
+            report.merge(
+                verify_aco_result(
+                    result, ddg, self.machine,
+                    target_aprp=self.machine.aprp(best_peak),
+                )
+            )
+            report.publish(self.telemetry, ddg.region.name)
+            report.raise_if_failed()
+        return result

@@ -21,6 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
+from ..analysis.ddg_lint import lint_ddg
+from ..analysis.sanitizer import verification_enabled
+from ..analysis.verifier import verify_schedule
 from ..config import FilterParams
 from ..aco.sequential import PassResult, SequentialACOScheduler
 from ..ddg.graph import DDG
@@ -158,6 +161,7 @@ class CompilePipeline:
         compile_time_model: CompileTimeModel = DEFAULT_COMPILE_TIME,
         baseline: Optional[AMDMaxOccupancyScheduler] = None,
         telemetry: Optional[Telemetry] = None,
+        verify: Optional[bool] = None,
     ):
         self.machine = machine
         self.scheduler = scheduler
@@ -168,11 +172,17 @@ class CompilePipeline:
         self.compile_time_model = compile_time_model
         self.baseline = baseline or AMDMaxOccupancyScheduler(machine)
         self._telemetry = telemetry
+        self._verify = verify
 
     @property
     def telemetry(self) -> Telemetry:
         """The injected telemetry, or the process-wide one (resolved late)."""
         return self._telemetry if self._telemetry is not None else get_telemetry()
+
+    @property
+    def verify_enabled(self) -> bool:
+        """Explicit ``verify`` argument, else ``REPRO_VERIFY`` (resolved late)."""
+        return self._verify if self._verify is not None else verification_enabled()
 
     @property
     def scheduler_name(self) -> str:
@@ -190,9 +200,31 @@ class CompilePipeline:
                 scheduler=self.scheduler_name,
             )
         outcome = self._compile_region(ddg, seed)
+        if self.verify_enabled:
+            self._verify_region(tele, ddg, outcome)
         if tele.active:
             self._publish_region(tele, outcome)
         return outcome
+
+    def _verify_region(self, tele: Telemetry, ddg: DDG, outcome: RegionOutcome) -> None:
+        """Recheck the DDG and the shipped schedule against every claim.
+
+        The shipped schedule is latency-legal whichever way the filters
+        decided, and the recorded quality (``outcome.final``) must match an
+        independent recomputation of peak pressure and RP cost.
+        """
+        report = lint_ddg(ddg)
+        report.merge(
+            verify_schedule(
+                outcome.schedule,
+                ddg,
+                self.machine,
+                expected_peak=outcome.final.pressure_dict,
+                expected_rp_cost=outcome.final.rp_cost,
+            )
+        )
+        report.publish(tele, outcome.region_name)
+        report.raise_if_failed()
 
     def _publish_region(self, tele: Telemetry, outcome: RegionOutcome) -> None:
         """Export one region's outcome (region_end event + pipeline.* metrics)."""

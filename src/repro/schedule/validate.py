@@ -25,10 +25,28 @@ def validate_schedule(
     respect_latencies: bool = True,
 ) -> None:
     """Raise :class:`ScheduleError` if ``schedule`` is illegal for ``ddg``."""
-    if schedule.region is not ddg.region and schedule.region != ddg.region:
-        raise ScheduleError("schedule and DDG refer to different regions")
+    # Region equality is value-based (same instructions and live sets, see
+    # SchedulingRegion.__eq__); distinct but equal region objects are fine.
+    if schedule.region != ddg.region:
+        raise ScheduleError(
+            "schedule is for region %r but the DDG describes region %r"
+            % (
+                getattr(schedule.region, "name", schedule.region),
+                ddg.region.name,
+            )
+        )
 
     cycles = schedule.cycles
+    if len(cycles) != ddg.num_instructions:
+        raise ScheduleError(
+            "schedule assigns %d cycle(s) for %d instruction(s)"
+            % (len(cycles), ddg.num_instructions)
+        )
+    order = getattr(schedule, "order", None)
+    if order is not None and sorted(order) != list(range(ddg.num_instructions)):
+        raise ScheduleError(
+            "issue order is not a permutation of the region's instructions"
+        )
     for src in range(ddg.num_instructions):
         for dst, latency in ddg.successors[src]:
             required = latency if respect_latencies else 1
@@ -45,7 +63,9 @@ def validate_schedule(
 
     issue_width = machine.issue_width if machine is not None else 1
     per_cycle = Counter(cycles)
-    worst_cycle, worst_count = max(per_cycle.items(), key=lambda kv: kv[1])
+    worst_cycle, worst_count = max(
+        per_cycle.items(), key=lambda kv: kv[1], default=(0, 0)
+    )
     if worst_count > issue_width:
         raise ScheduleError(
             "cycle %d issues %d instructions; issue width is %d"

@@ -25,6 +25,7 @@ Event types (schema v1):
 ``kernel_launch``         one simulated GPU launch (time + divergence split)
 ``transfer``              one host<->device copy set (bytes, calls)
 ``batch_start/_end``      one multi-region batched launch
+``verify``                one independent verification pass (checks, violations)
 ========================  ====================================================
 """
 
@@ -90,6 +91,7 @@ EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
     "transfer": ("region", "pass_index", "bytes", "calls", "seconds"),
     "batch_start": ("num_regions", "blocks_per_region"),
     "batch_end": ("num_regions", "seconds", "unbatched_seconds", "amortization_speedup"),
+    "verify": ("region", "checks", "violations"),
 }
 
 

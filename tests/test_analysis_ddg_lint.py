@@ -1,0 +1,168 @@
+"""Tests for the DDG/closure linter, including bitset-tampering faults."""
+
+import types
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import (
+    audit_ready_bound,
+    lint_closure,
+    lint_ddg,
+    max_antichain_size,
+)
+from repro.ddg import DDG, TransitiveClosure
+from repro.errors import VerificationError
+from repro.ir.builder import RegionBuilder
+
+from conftest import ddgs
+
+
+def _empty_ddg():
+    """A DDG-shaped stub with zero instructions (real regions forbid it)."""
+    return types.SimpleNamespace(
+        num_instructions=0,
+        successors=(),
+        predecessors=(),
+        region=types.SimpleNamespace(name="empty"),
+    )
+
+
+class TestLintDDG:
+    def test_figure1_clean(self, fig1_ddg):
+        report = lint_ddg(fig1_ddg)
+        assert report.ok, report.violations
+        assert report.checks > 20
+
+    @given(ddgs(max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_regions_clean(self, ddg):
+        assert lint_ddg(ddg).ok
+
+    def test_duality_tamper_caught(self, fig1_ddg):
+        """Drop one predecessor entry: the successor lists now claim an
+        edge the predecessor lists do not know about."""
+        preds = [list(p) for p in fig1_ddg.predecessors]
+        victim = next(i for i in range(fig1_ddg.num_instructions) if preds[i])
+        preds[victim] = preds[victim][1:]
+        tampered = types.SimpleNamespace(
+            num_instructions=fig1_ddg.num_instructions,
+            region=fig1_ddg.region,
+            successors=fig1_ddg.successors,
+            predecessors=tuple(tuple(p) for p in preds),
+            edges=fig1_ddg.edges,
+            num_predecessors=fig1_ddg.num_predecessors,
+            roots=fig1_ddg.roots,
+            leaves=fig1_ddg.leaves,
+        )
+        report = lint_ddg(tampered)
+        assert "duality" in report.codes()
+
+    def test_program_order_tamper_caught(self, fig1_ddg):
+        """A backwards edge (dst < src) violates the topological layout."""
+        succs = [list(s) for s in fig1_ddg.successors]
+        preds = [list(p) for p in fig1_ddg.predecessors]
+        succs[5].append((0, 1))
+        preds[0].append((5, 1))
+        tampered = types.SimpleNamespace(
+            num_instructions=fig1_ddg.num_instructions,
+            region=fig1_ddg.region,
+            successors=tuple(tuple(s) for s in succs),
+            predecessors=tuple(tuple(p) for p in preds),
+            edges=fig1_ddg.edges,
+            num_predecessors=fig1_ddg.num_predecessors,
+            roots=fig1_ddg.roots,
+            leaves=fig1_ddg.leaves,
+        )
+        report = lint_ddg(tampered)
+        assert "program-order" in report.codes()
+
+
+class TestLintClosure:
+    def test_figure1_clean(self, fig1_ddg):
+        assert lint_closure(TransitiveClosure(fig1_ddg)).ok
+
+    @given(ddgs(max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_closures_clean(self, ddg):
+        assert lint_closure(TransitiveClosure(ddg)).ok
+
+    def test_bitset_tamper_caught(self, fig1_ddg):
+        """Flip one reachability bit: the DFS referee must disagree."""
+        closure = TransitiveClosure(fig1_ddg)
+        closure.descendants[0] ^= 1 << (fig1_ddg.num_instructions - 1)
+        report = lint_closure(closure)
+        assert "transitivity" in report.codes()
+
+    def test_reflexive_tamper_caught(self, fig1_ddg):
+        closure = TransitiveClosure(fig1_ddg)
+        closure.descendants[2] |= 1 << 2
+        report = lint_closure(closure)
+        assert "irreflexive" in report.codes()
+
+    def test_independence_tamper_caught(self, fig1_ddg):
+        closure = TransitiveClosure(fig1_ddg)
+        closure.independent[1] = 0
+        report = lint_closure(closure)
+        assert "independence" in report.codes()
+
+
+class TestClosureEdgeCases:
+    def test_empty_ddg(self):
+        closure = TransitiveClosure(_empty_ddg())
+        assert closure.num_instructions == 0
+        assert closure.ready_list_upper_bound() == 0
+        assert closure.max_independent_count() == 0
+        assert max_antichain_size(closure) == 0
+
+    def test_single_node(self):
+        b = RegionBuilder("one")
+        b.inst("op1", defs=["v0"])
+        ddg = DDG(b.live_out("v0").build())
+        closure = TransitiveClosure(ddg)
+        assert closure.ready_list_upper_bound() == 1
+        assert closure.independent_count(0) == 0
+        assert max_antichain_size(closure) == 1
+
+    def test_disconnected_components(self):
+        """Two independent chains: the bound is the antichain width 2."""
+        b = RegionBuilder("two-chains")
+        b.inst("op1", defs=["v0"])
+        b.inst("op1", defs=["v1"])
+        b.inst("op1", defs=["v2"], uses=["v0"])
+        b.inst("op1", defs=["v3"], uses=["v1"])
+        ddg = DDG(b.live_out("v2", "v3").build())
+        closure = TransitiveClosure(ddg)
+        assert closure.are_independent(0, 1)
+        assert not closure.are_independent(0, 2)
+        assert max_antichain_size(closure) == 2
+        assert closure.ready_list_upper_bound() >= 2
+
+    @given(ddgs(max_size=14))
+    @settings(max_examples=30, deadline=None)
+    def test_bound_dominates_true_antichain(self, ddg):
+        """Section V-A's 1 + max-independent bound dominates the true
+        maximum antichain (brute-forced on small DDGs)."""
+        closure = TransitiveClosure(ddg)
+        assert max_antichain_size(closure) <= closure.ready_list_upper_bound()
+
+    def test_figure1_antichain_exact(self, fig1_ddg):
+        closure = TransitiveClosure(fig1_ddg)
+        # A, B, C, D are pairwise independent; nothing larger exists.
+        assert max_antichain_size(closure) == 4
+        assert closure.ready_list_upper_bound() == 5
+
+
+class TestAuditReadyBound:
+    def test_observed_within_bound(self, fig1_ddg):
+        closure = TransitiveClosure(fig1_ddg)
+        report = audit_ready_bound(closure, observed_peak=4)
+        assert report.ok
+        assert report.stats["bound"] == 5
+
+    def test_overshoot_caught(self, fig1_ddg):
+        closure = TransitiveClosure(fig1_ddg)
+        report = audit_ready_bound(closure, observed_peak=6)
+        assert "ready-bound" in report.codes()
+        with pytest.raises(VerificationError):
+            report.raise_if_failed()

@@ -1,0 +1,157 @@
+"""Tests for the AST determinism lint (python -m repro.analysis.lint)."""
+
+import os
+
+from repro.analysis.lint import default_target, lint_file, main, run_lint
+
+
+def _lint_source(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_file(str(path), str(tmp_path))
+
+
+def _codes(violations):
+    return [v.code for v in violations]
+
+
+class TestRepoIsClean:
+    def test_repro_package_passes(self):
+        violations = run_lint([default_target()])
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_main_exit_zero(self, capsys):
+        assert main([default_target()]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestRNGRules:
+    def test_global_random_in_kernel_path(self, tmp_path):
+        violations = _lint_source(
+            tmp_path, "aco/bad.py", "import random\nx = random.random()\n"
+        )
+        assert _codes(violations) == ["RNG001"]
+
+    def test_global_random_outside_kernel_path_allowed(self, tmp_path):
+        violations = _lint_source(
+            tmp_path, "viz/ok.py", "import random\nx = random.random()\n"
+        )
+        assert violations == []
+
+    def test_injected_random_instance_allowed(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            "aco/good.py",
+            "import random\nrng = random.Random(7)\nx = rng.random()\n",
+        )
+        assert violations == []
+
+    def test_legacy_numpy_random_anywhere(self, tmp_path):
+        violations = _lint_source(
+            tmp_path, "viz/bad.py", "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        assert _codes(violations) == ["RNG002"]
+
+    def test_unseeded_default_rng_in_kernel_path(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            "parallel/bad.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert _codes(violations) == ["RNG003"]
+
+    def test_seeded_default_rng_allowed(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            "parallel/good.py",
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+        )
+        assert violations == []
+
+    def test_global_seeding_forbidden(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            "viz/bad.py",
+            "import random\nimport numpy as np\n"
+            "random.seed(0)\nnp.random.seed(0)\n",
+        )
+        assert _codes(violations) == ["RNG004", "RNG004"]
+
+
+class TestTelemetryRules:
+    def test_telemetry_importing_rng(self, tmp_path):
+        violations = _lint_source(tmp_path, "telemetry/bad.py", "import random\n")
+        assert _codes(violations) == ["TEL001"]
+
+    def test_telemetry_importing_scheduler_state(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            "telemetry/bad.py",
+            "from ..parallel.colony import Colony\n",
+        )
+        assert _codes(violations) == ["TEL002"]
+
+    def test_telemetry_importing_errors_allowed(self, tmp_path):
+        violations = _lint_source(
+            tmp_path, "telemetry/ok.py", "from ..errors import ReproError\n"
+        )
+        assert violations == []
+
+
+class TestWallClockRule:
+    def test_wall_clock_in_kernel_path(self, tmp_path):
+        violations = _lint_source(
+            tmp_path, "gpusim/bad.py", "import time\nt = time.time()\n"
+        )
+        assert _codes(violations) == ["TIME001"]
+
+    def test_wall_clock_in_cli_allowed(self, tmp_path):
+        violations = _lint_source(
+            tmp_path, "cli.py", "import time\nt = time.time()\n"
+        )
+        assert violations == []
+
+
+class TestSuppressionsAndErrors:
+    def test_lint_allow_comment(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            "aco/excused.py",
+            "import random\nx = random.random()  # lint: allow\n",
+        )
+        assert violations == []
+
+    def test_syntax_error_reported(self, tmp_path):
+        violations = _lint_source(tmp_path, "aco/broken.py", "def f(:\n")
+        assert _codes(violations) == ["SYN001"]
+
+    def test_main_nonzero_on_violation(self, tmp_path, capsys):
+        path = tmp_path / "rp" / "bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import random\nrandom.shuffle([1])\n")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out
+
+    def test_single_file_target(self, tmp_path):
+        path = tmp_path / "loose.py"
+        path.write_text("import numpy as np\nnp.random.seed(1)\n")
+        violations = run_lint([str(path)])
+        assert _codes(violations) == ["RNG004"]
+
+    def test_module_is_runnable(self):
+        """python -m repro.analysis.lint must stay invokable (CI uses it)."""
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.abspath(default_target()))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout

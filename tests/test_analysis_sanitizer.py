@@ -1,0 +1,224 @@
+"""Tests for the gpusim sanitizer: checked arrays and colony invariants."""
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.aco import PheromoneTable
+from repro.analysis import CheckedArray, ColonySanitizer, checked
+from repro.analysis.sanitizer import sanitize_enabled, verification_enabled
+from repro.config import ACOParams, GPUParams
+from repro.ddg import DDG
+from repro.errors import SanitizerError
+from repro.gpusim import GPUDevice, KernelAccounting
+from repro.parallel import Colony, DivergencePolicy, RegionDeviceData
+
+
+def _make_colony(ddg, machine, blocks=1, seed=0, sanitize=True, **gpu_overrides):
+    gpu = GPUParams(blocks=blocks, **gpu_overrides)
+    params = ACOParams()
+    policy = DivergencePolicy.from_params(gpu)
+    data = RegionDeviceData(ddg, machine, tight_ready_bound=gpu.tight_ready_list_bound)
+    accounting = KernelAccounting(GPUDevice(), policy.num_wavefronts, coalesced=True)
+    sanitizer = ColonySanitizer() if sanitize else None
+    colony = Colony(
+        data,
+        params,
+        policy,
+        accounting,
+        np.random.default_rng(seed),
+        sanitizer=sanitizer,
+    )
+    return colony, data, params
+
+
+class TestCheckedArray:
+    def test_negative_scalar_index_rejected(self):
+        arr = checked(np.arange(8), "buf")
+        with pytest.raises(SanitizerError, match="buf"):
+            arr[-1]
+
+    def test_negative_array_index_rejected(self):
+        arr = checked(np.arange(8), "buf")
+        with pytest.raises(SanitizerError):
+            arr[np.array([0, 2, -1])]
+
+    def test_negative_write_index_rejected(self):
+        arr = checked(np.arange(8), "buf")
+        with pytest.raises(SanitizerError):
+            arr[np.array([-3])] = 7
+
+    def test_positive_and_fancy_indexing_pass(self):
+        arr = checked(np.arange(12).reshape(3, 4), "buf")
+        assert arr[2, 3] == 11
+        assert (arr[1] == [4, 5, 6, 7]).all()
+        assert (arr[np.array([0, 2]), np.array([1, 2])] == [1, 10]).all()
+        assert arr[arr > 100].size == 0  # boolean masks pass
+
+    def test_slices_untouched(self):
+        arr = checked(np.arange(8), "buf")
+        assert (arr[2:5] == [2, 3, 4]).all()
+        assert (arr[:-1] == np.arange(7)).all()  # slice negatives are fine
+
+    def test_view_shares_memory(self):
+        base = np.zeros(4, dtype=np.int32)
+        view = checked(base, "buf")
+        view[1] = 9
+        assert base[1] == 9
+        assert isinstance(view, CheckedArray)
+
+    def test_name_survives_finalize(self):
+        arr = checked(np.arange(6).reshape(2, 3), "state")
+        with pytest.raises(SanitizerError, match="state"):
+            arr[0][-1]
+
+
+class TestEnvGating:
+    def test_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        assert not sanitize_enabled()
+        assert not verification_enabled()
+
+    def test_sanitize_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        assert sanitize_enabled()
+        assert not verification_enabled()
+
+    def test_verify_implies_sanitize(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        monkeypatch.setenv("REPRO_VERIFY", "true")
+        assert verification_enabled()
+        assert sanitize_enabled()
+
+    def test_colony_auto_resolves_from_env(self, fig1_ddg, vega, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        colony, _, _ = _make_colony(fig1_ddg, vega, sanitize=False)
+        assert colony.sanitizer is not None
+
+
+class TestColonyCleanRuns:
+    def test_rp_iteration_sanitized(self, fig1_ddg, vega):
+        colony, _, params = _make_colony(fig1_ddg, vega)
+        result = colony.run_rp_iteration(PheromoneTable(7, params).tau)
+        assert sorted(result.winner_order) == list(range(7))
+        assert colony.sanitizer.steps_checked == 7
+
+    def test_ilp_iteration_sanitized(self, fig1_ddg, vega):
+        colony, _, params = _make_colony(fig1_ddg, vega)
+        result = colony.run_ilp_iteration(
+            PheromoneTable(7, params).tau, {}, max_length=32
+        )
+        assert result.winner_order is not None
+        assert colony.sanitizer.steps_checked > 0
+
+    def test_sanitizer_does_not_change_results(self, fig1_ddg, vega):
+        """Sanitize mode observes; the constructed schedules are identical."""
+        plain, _, params = _make_colony(fig1_ddg, vega, sanitize=False, seed=3)
+        sanitized, _, _ = _make_colony(fig1_ddg, vega, sanitize=True, seed=3)
+        tau = PheromoneTable(7, params).tau
+        assert (
+            plain.run_rp_iteration(tau).winner_order
+            == sanitized.run_rp_iteration(tau).winner_order
+        )
+
+
+class TestFaultInjection:
+    def test_oversized_ready_list(self, fig1_ddg, vega):
+        """Mutation: the available list claims more entries than the
+        Section V-A bound sized the buffer for."""
+        colony, data, _ = _make_colony(fig1_ddg, vega)
+        colony._reset()
+        colony.avail_len[0] = data.ready_capacity + 1
+        with pytest.raises(SanitizerError, match="Section V-A bound"):
+            colony.sanitizer.check_step(colony)
+
+    def test_poison_violation(self, fig1_ddg, vega):
+        """Mutation: a stale id appears beyond the list's length."""
+        colony, data, _ = _make_colony(fig1_ddg, vega)
+        colony._reset()
+        free_slot = int(colony.avail_len[0])
+        assert free_slot < data.ready_capacity
+        np.asarray(colony.avail_ids)[0, free_slot] = 3
+        with pytest.raises(SanitizerError, match="poison"):
+            colony.sanitizer.check_step(colony)
+
+    def test_duplicate_in_available_list(self, fig1_ddg, vega):
+        """Mutation: a cross-ant write lands an id twice in one ant."""
+        colony, _, _ = _make_colony(fig1_ddg, vega)
+        colony._reset()
+        np.asarray(colony.avail_ids)[0, 1] = np.asarray(colony.avail_ids)[0, 0]
+        with pytest.raises(SanitizerError, match="aliasing|appears"):
+            colony.sanitizer.check_step(colony)
+
+    def test_negative_pred_counter(self, fig1_ddg, vega):
+        colony, _, _ = _make_colony(fig1_ddg, vega)
+        colony._reset()
+        np.asarray(colony.pred_remaining)[0, 0] = -1
+        with pytest.raises(SanitizerError, match="predecessor"):
+            colony.sanitizer.check_step(colony)
+
+    def test_non_uniform_wavefront_decision(self):
+        """Mutation: one lane explores while its wavefront exploits."""
+        sanitizer = ColonySanitizer()
+        exploit = np.ones(128, dtype=bool)
+        exploit[5] = False  # lane 5 of wavefront 0 diverges
+        with pytest.raises(SanitizerError, match="wavefront 0"):
+            sanitizer.check_exploit_uniform(exploit, 2, 64)
+        # Uniform draws pass.
+        sanitizer.check_exploit_uniform(np.zeros(128, dtype=bool), 2, 64)
+
+    def test_winner_order_corruption(self, fig1_ddg, vega):
+        """Mutation: the winning ant's order lost an instruction."""
+        colony, _, params = _make_colony(fig1_ddg, vega)
+        colony.run_rp_iteration(PheromoneTable(7, params).tau)
+        np.asarray(colony.order_buf)[0, 0] = np.asarray(colony.order_buf)[0, 1]
+        with pytest.raises(SanitizerError, match="incomplete or duplicated"):
+            colony.sanitizer.check_iteration_end(colony, winner=0)
+
+    def test_aliased_rows_rejected_at_layout_audit(self, fig1_ddg, vega):
+        """Mutation: two ants' rows share memory (stride-0 broadcast)."""
+        colony, data, _ = _make_colony(fig1_ddg, vega)
+        fake = types.SimpleNamespace(
+            num_ants=colony.num_ants,
+            data=data,
+            avail_ids=np.broadcast_to(
+                np.zeros(data.ready_capacity, dtype=np.int32),
+                (colony.num_ants, data.ready_capacity),
+            ),
+            avail_release=colony.avail_release,
+            pred_remaining=colony.pred_remaining,
+            remaining_uses=colony.remaining_uses,
+            order_buf=colony.order_buf,
+            cycles_buf=colony.cycles_buf,
+        )
+        with pytest.raises(SanitizerError, match="share state|overlap"):
+            colony.sanitizer.audit_layout(fake)
+
+    def test_wrong_capacity_rejected(self, fig1_ddg, vega):
+        colony, data, _ = _make_colony(fig1_ddg, vega)
+        fake = types.SimpleNamespace(
+            num_ants=colony.num_ants,
+            data=data,
+            avail_ids=np.zeros(
+                (colony.num_ants, data.ready_capacity + 2), dtype=np.int32
+            ),
+            avail_release=colony.avail_release,
+            pred_remaining=colony.pred_remaining,
+            remaining_uses=colony.remaining_uses,
+            order_buf=colony.order_buf,
+            cycles_buf=colony.cycles_buf,
+        )
+        with pytest.raises(SanitizerError, match="capacity"):
+            colony.sanitizer.audit_layout(fake)
+
+    def test_uninitialized_slot_read_caught_live(self, fig1_ddg, vega):
+        """The CheckedArray wrapping catches a computed -1 index on the
+        colony's own state arrays."""
+        colony, _, _ = _make_colony(fig1_ddg, vega)
+        colony._reset()
+        bogus = int(colony.avail_len[1]) - 99  # a negative computed offset
+        with pytest.raises(SanitizerError, match="avail_ids"):
+            colony.avail_ids[1, bogus]

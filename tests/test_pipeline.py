@@ -188,3 +188,61 @@ class TestStats:
         assert stats.overall_occupancy_increase_pct == 0
         assert stats.overall_length_reduction_pct == 0
         assert stats.pass1_regions == 0
+
+
+class TestPipelineVerifyMode:
+    def test_verified_compile_reports_zero_violations(self, vega_module):
+        """A small suite compiled under --verify: every region's shipped
+        schedule recertifies, and the telemetry trace records it."""
+        from repro.aco import SequentialACOScheduler as Seq
+        from repro.config import ACOParams
+        from repro.telemetry import MemorySink, Telemetry
+
+        suite = generate_suite(
+            SuiteParams(num_benchmarks=2, num_kernels=2, regions_per_kernel=2),
+            max_region_size=40,
+        )
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink)
+        pipeline = CompilePipeline(
+            vega_module,
+            scheduler=Seq(
+                vega_module, params=ACOParams(max_iterations=3), verify=True
+            ),
+            telemetry=telemetry,
+            verify=True,
+        )
+        assert pipeline.verify_enabled
+        run = pipeline.compile_suite(suite)
+        assert len(run.kernels) == 2
+        events = sink.by_type("verify")
+        assert events, "verify events missing from the trace"
+        assert all(e["violations"] == 0 for e in events)
+        assert all(e["checks"] > 0 for e in events)
+
+    def test_verify_catches_corrupt_quality_claim(self, vega_module, fig1_ddg):
+        """Fault injection through the pipeline: a tampered final quality
+        claim must fail recertification."""
+        from repro.analysis import verify_schedule
+        from repro.errors import VerificationError
+
+        pipeline = CompilePipeline(vega_module, scheduler=None, verify=True)
+        outcome = pipeline.compile_region(fig1_ddg)
+        tampered = outcome.final.__class__(
+            length=outcome.final.length,
+            peak_pressure=tuple(
+                (cls, value + 1) for cls, value in outcome.final.peak_pressure
+            ),
+            aprp=outcome.final.aprp,
+            occupancy=outcome.final.occupancy,
+            rp_cost=outcome.final.rp_cost,
+        )
+        report = verify_schedule(
+            outcome.schedule,
+            fig1_ddg,
+            vega_module,
+            expected_peak=tampered.pressure_dict,
+        )
+        assert "claimed-peak" in report.codes()
+        with pytest.raises(VerificationError):
+            report.raise_if_failed()

@@ -86,6 +86,42 @@ class TestValidate:
         bad = Schedule.from_order(fig1_ddg.region, [6, 0, 1, 2, 3, 4, 5])
         assert not is_legal(bad, fig1_ddg, vega, respect_latencies=False)
 
+    def test_equal_but_distinct_region_accepted(self, fig1_ddg, vega):
+        """Region comparison is by value: a schedule built against an equal
+        (but not identical) region object must validate."""
+        from repro.ir.builder import figure1_region
+
+        other = figure1_region()
+        assert other is not fig1_ddg.region and other == fig1_ddg.region
+        schedule = list_schedule(fig1_ddg, vega, heuristic=CriticalPathHeuristic())
+        validate_schedule(Schedule(other, schedule.cycles), fig1_ddg, vega)
+
+    def test_mismatched_region_rejected_with_names(self, fig1_ddg, chain_region):
+        ddg = DDG(chain_region)
+        schedule = Schedule(chain_region, [0, 2, 4, 6])
+        with pytest.raises(ScheduleError, match="chain"):
+            validate_schedule(schedule, fig1_ddg)
+
+    def test_incomplete_schedule_rejected_not_crashing(self, fig1_ddg):
+        """A forged schedule missing instructions must raise ScheduleError,
+        not crash on downstream arithmetic (empty per-cycle max)."""
+
+        class Forged:
+            region = fig1_ddg.region
+            cycles = ()
+
+        with pytest.raises(ScheduleError, match="7 instruction"):
+            validate_schedule(Forged(), fig1_ddg)
+
+    def test_forged_order_rejected(self, fig1_ddg):
+        class Forged:
+            region = fig1_ddg.region
+            cycles = tuple(range(7))
+            order = (0, 0, 1, 2, 3, 4, 5)
+
+        with pytest.raises(ScheduleError, match="permutation"):
+            validate_schedule(Forged(), fig1_ddg)
+
 
 class TestScheduleInOrder:
     def test_preserves_order_and_inserts_stalls(self, fig1_ddg):
