@@ -13,18 +13,23 @@ the first bench that needs a given compile run pays for it.
 Set ``REPRO_TRACE=/path/to/trace.jsonl`` to record the whole bench
 session's telemetry (region outcomes, ACO iterations, simulated kernel
 launches) as JSONL; summarize it afterwards with
-``python -m repro.telemetry.report /path/to/trace.jsonl``.
+``python -m repro.telemetry.report /path/to/trace.jsonl``. Set
+``REPRO_PROFILE=/path/to/stacks.txt`` to span-profile the session's
+simulated time and write the collapsed-stack file (flamegraph.pl /
+speedscope input; the span tree is printed to stdout at session end).
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import ExitStack
 
 import pytest
 
 from repro.experiments import SCALES
 from repro.experiments.common import ExperimentContext
-from repro.telemetry import JSONLSink, Telemetry
+from repro.profile import SpanProfiler, profile_session, render_tree, write_collapsed
+from repro.telemetry import JSONLSink, Telemetry, telemetry_session
 
 
 @pytest.fixture(scope="session")
@@ -38,14 +43,23 @@ def context():
     scale = SCALES[scale_name]
 
     trace_path = os.environ.get("REPRO_TRACE")
-    if trace_path:
-        telemetry = Telemetry(sink=JSONLSink(trace_path))
-        try:
-            yield ExperimentContext(scale, telemetry=telemetry)
-        finally:
-            telemetry.close()
-    else:
-        yield ExperimentContext(scale)
+    stacks_path = os.environ.get("REPRO_PROFILE")
+    with ExitStack() as stack:
+        telemetry = None
+        if trace_path:
+            telemetry = Telemetry(sink=JSONLSink(trace_path))
+            stack.callback(telemetry.close)
+            stack.enter_context(telemetry_session(telemetry))
+        profiler = None
+        if stacks_path:
+            profiler = SpanProfiler()
+            stack.enter_context(profile_session(profiler))
+        yield ExperimentContext(scale, telemetry=telemetry)
+        if profiler is not None:
+            print()
+            print(render_tree(profiler.root))
+            write_collapsed(stacks_path, profiler.root)
+            print("[collapsed stacks written to %s]" % stacks_path)
 
 
 @pytest.fixture(scope="session")

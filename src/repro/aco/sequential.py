@@ -32,6 +32,7 @@ from ..machine.model import MachineModel
 from ..rp.cost import rp_cost, rp_cost_lower_bound
 from ..rp.liveness import peak_pressure
 from ..schedule.schedule import Schedule
+from ..profile import get_profiler
 from ..telemetry import Telemetry, get_telemetry
 from ..timing import DEFAULT_CPU_COST, CPUCostModel
 from .ant import AntResult, ConstructionStats, construct_cycles, construct_order
@@ -161,6 +162,9 @@ class SequentialACOScheduler:
             return best_order, best_peak, result
 
         scope = tele.pass_scope(region.name, 1, self.name, lb_cost, best_cost)
+        prof = get_profiler()
+        prof.push("pass1", "pass")
+        prof.charge_leaf("overhead", self.cost_model.region_overhead, "overhead")
         prepared = self.rp_heuristic.prepare(ddg)
         pheromone = PheromoneTable(ddg.num_instructions, self.params)
         tracker = TerminationTracker(
@@ -170,26 +174,35 @@ class SequentialACOScheduler:
         )
         while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
             winner: Optional[AntResult] = None
+            construct_seconds = 0.0
             for _ant in range(self.params.sequential_ants):
                 result = construct_order(
                     ddg, self.machine, pheromone, prepared, self.params, rng
                 )
                 stats.merge(result.stats)
-                seconds += self.cost_model.construction_seconds(
+                ant_seconds = self.cost_model.construction_seconds(
                     result.stats.steps,
                     result.stats.ready_scans,
                     result.stats.successor_ops,
                 )
+                seconds += ant_seconds
+                construct_seconds += ant_seconds
                 if winner is None or result.rp_cost_value < winner.rp_cost_value:
                     winner = result
             assert winner is not None
             pheromone.decay()
             pheromone.deposit(winner.order, winner.rp_cost_value - lb_cost)
-            seconds += self.cost_model.pheromone_seconds(pheromone.touched_entries())
+            pheromone_seconds = self.cost_model.pheromone_seconds(pheromone.touched_entries())
+            seconds += pheromone_seconds
             if tracker.record_iteration(winner.rp_cost_value):
                 best_order = winner.order
                 best_peak = winner.peak
             scope.iteration(float(winner.rp_cost_value), tracker.best_cost)
+            if prof.enabled:
+                with prof.span("iteration", "iteration"):
+                    prof.charge_leaf("construct", construct_seconds, "construct")
+                    prof.charge_leaf("pheromone", pheromone_seconds, "pheromone")
+        prof.pop()
         pass_result = PassResult(
             invoked=True,
             iterations=tracker.iterations,
@@ -256,6 +269,9 @@ class SequentialACOScheduler:
 
         scope = tele.pass_scope(region.name, 2, self.name, length_lb, best_length)
         seconds += self.cost_model.region_overhead
+        prof = get_profiler()
+        prof.push("pass2", "pass")
+        prof.charge_leaf("overhead", self.cost_model.region_overhead, "overhead")
         prepared = self.ilp_heuristic.prepare(ddg)
         pheromone = PheromoneTable(ddg.num_instructions, self.params)
         stall_heuristic = OptionalStallHeuristic(self.params, len(region))
@@ -267,6 +283,7 @@ class SequentialACOScheduler:
         max_length = max(2 * best_length, best_length + 16)
         while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
             winner: Optional[AntResult] = None
+            construct_seconds = 0.0
             for _ant in range(self.params.sequential_ants):
                 result = construct_cycles(
                     ddg,
@@ -281,11 +298,13 @@ class SequentialACOScheduler:
                     max_length=max_length,
                 )
                 stats.merge(result.stats)
-                seconds += self.cost_model.construction_seconds(
+                ant_seconds = self.cost_model.construction_seconds(
                     result.stats.steps,
                     result.stats.ready_scans,
                     result.stats.successor_ops,
                 )
+                seconds += ant_seconds
+                construct_seconds += ant_seconds
                 if result.alive and (winner is None or result.length < winner.length):
                     winner = result
             pheromone.decay()
@@ -293,16 +312,27 @@ class SequentialACOScheduler:
                 # Every ant violated the constraint: count a stagnant
                 # iteration; the pheromone decay alone reshapes the search.
                 tracker.record_iteration(tracker.best_cost)
-                seconds += self.cost_model.pheromone_seconds(pheromone.touched_entries())
+                pheromone_seconds = self.cost_model.pheromone_seconds(pheromone.touched_entries())
+                seconds += pheromone_seconds
                 scope.iteration(float("inf"), tracker.best_cost)
+                if prof.enabled:
+                    with prof.span("iteration", "iteration"):
+                        prof.charge_leaf("construct", construct_seconds, "construct")
+                        prof.charge_leaf("pheromone", pheromone_seconds, "pheromone")
                 continue
             pheromone.deposit(winner.order, winner.length - length_lb)
-            seconds += self.cost_model.pheromone_seconds(pheromone.touched_entries())
+            pheromone_seconds = self.cost_model.pheromone_seconds(pheromone.touched_entries())
+            seconds += pheromone_seconds
             if tracker.record_iteration(winner.length):
                 assert winner.cycles is not None
                 best_schedule = Schedule(region, winner.cycles)
                 best_length = winner.length
             scope.iteration(float(winner.length), tracker.best_cost)
+            if prof.enabled:
+                with prof.span("iteration", "iteration"):
+                    prof.charge_leaf("construct", construct_seconds, "construct")
+                    prof.charge_leaf("pheromone", pheromone_seconds, "pheromone")
+        prof.pop()
         pass_result = PassResult(
             invoked=True,
             iterations=tracker.iterations,

@@ -1,0 +1,49 @@
+"""Continuous-benchmark harness (``python -m repro.bench``).
+
+Extracts scalar metrics from the experiment pipelines, writes versioned
+``BENCH_<name>.json`` files and gates them against committed baselines —
+see :mod:`repro.bench.core`, :mod:`repro.bench.fingerprint` and
+:mod:`repro.bench.compare`.
+"""
+
+from .compare import (
+    DEFAULT_THRESHOLD_PCT,
+    Delta,
+    compare_metrics,
+    compare_payloads,
+    load_bench,
+    load_bench_dir,
+    render_deltas,
+)
+from .core import (
+    BENCH_SCHEMA,
+    BENCHES,
+    PRODUCTION_THRESHOLD,
+    bench_filename,
+    bench_payload,
+    metric,
+    run_benches,
+    write_bench,
+)
+from .fingerprint import cost_model_digest, environment_fingerprint, git_revision
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCHES",
+    "DEFAULT_THRESHOLD_PCT",
+    "PRODUCTION_THRESHOLD",
+    "Delta",
+    "bench_filename",
+    "bench_payload",
+    "compare_metrics",
+    "compare_payloads",
+    "cost_model_digest",
+    "environment_fingerprint",
+    "git_revision",
+    "load_bench",
+    "load_bench_dir",
+    "metric",
+    "render_deltas",
+    "run_benches",
+    "write_bench",
+]

@@ -1,0 +1,267 @@
+"""The continuous-benchmark registry and BENCH_*.json writer.
+
+Each bench extracts a handful of *scalar* metrics from the shared
+:class:`repro.experiments.common.ExperimentContext` — the same cached
+compile runs the tables and figures read — and the runner serializes them
+to a versioned ``BENCH_<name>.json``. Because every simulated second in
+this reproduction is deterministic, the files are bit-stable for a given
+scale and code revision: any diff against a committed baseline is a real
+behavior change, not noise, which is what makes threshold-based CI gating
+(see :mod:`repro.bench.compare`) meaningful at all.
+
+Metric schema (``bench_schema`` 1)::
+
+    {"bench_schema": 1, "name": "table2", "scale": "test",
+     "fingerprint": {...}, "metrics": {"<metric>": {
+         "value": <float>, "unit": "<unit>", "direction": "lower|higher|info"}}}
+
+``direction`` drives regression comparison: ``lower`` means smaller is
+better (times), ``higher`` means bigger is better (speedups, improvement
+percentages) and ``info`` is recorded but never gated (counts, coverage).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Callable, Dict, List, Optional
+
+from ..config import geometric_mean
+from ..errors import BenchError
+from ..experiments.common import (
+    ExperimentContext,
+    thresholded_compile_seconds,
+)
+from ..pipeline.stats import improvement_statistics
+from ..profile import attribution, get_profiler
+from ..telemetry import get_telemetry
+from .fingerprint import environment_fingerprint
+
+#: Version of the BENCH_*.json layout.
+BENCH_SCHEMA = 1
+
+#: The production cycle threshold used by the compile-time and
+#: execution-time experiments (Table 5 / Figure 4).
+PRODUCTION_THRESHOLD = 21
+
+
+def metric(value: float, unit: str, direction: str = "info") -> Dict[str, object]:
+    if direction not in ("lower", "higher", "info"):
+        raise BenchError("bad metric direction %r" % direction)
+    return {"value": float(value), "unit": unit, "direction": direction}
+
+
+# -- bench extractors ----------------------------------------------------------
+
+
+def bench_table2(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Table 2: schedule-quality improvement of parallel ACO vs. AMD."""
+    stats = improvement_statistics(context.run("parallel"))
+    return {
+        "pass1_regions": metric(stats.pass1_regions, "regions"),
+        "pass2_regions": metric(stats.pass2_regions, "regions"),
+        "overall_occupancy_increase_pct": metric(
+            stats.overall_occupancy_increase_pct, "pct", "higher"
+        ),
+        "max_occupancy_increase_pct": metric(
+            stats.max_occupancy_increase_pct, "pct", "higher"
+        ),
+        "overall_length_reduction_pct": metric(
+            stats.overall_length_reduction_pct, "pct", "higher"
+        ),
+        "max_length_reduction_pct": metric(
+            stats.max_length_reduction_pct, "pct", "higher"
+        ),
+    }
+
+
+def bench_table3(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Table 3: parallel-over-sequential scheduling speedup per pass."""
+    records = context.speedup_records()
+    out: Dict[str, Dict[str, object]] = {}
+    for pass_index in (1, 2):
+        speedups = [r.speedup for r in records if r.pass_index == pass_index]
+        out["pass%d_comparable_regions" % pass_index] = metric(
+            len(speedups), "regions"
+        )
+        if speedups:
+            out["pass%d_geomean_speedup" % pass_index] = metric(
+                geometric_mean(speedups), "x", "higher"
+            )
+            out["pass%d_max_speedup" % pass_index] = metric(
+                max(speedups), "x", "higher"
+            )
+    return out
+
+
+def bench_table5(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Table 5: total compile times at the production cycle threshold."""
+    base = context.run("baseline").total_seconds
+    seq = thresholded_compile_seconds(
+        context, context.run("sequential"), PRODUCTION_THRESHOLD
+    )
+    par = thresholded_compile_seconds(
+        context, context.run("parallel"), PRODUCTION_THRESHOLD
+    )
+    out = {
+        "base_compile_seconds": metric(base, "s", "lower"),
+        "sequential_compile_seconds": metric(seq, "s", "lower"),
+        "parallel_compile_seconds": metric(par, "s", "lower"),
+    }
+    if base > 0:
+        out["sequential_overhead_pct"] = metric(
+            100.0 * (seq - base) / base, "pct", "lower"
+        )
+        out["parallel_overhead_pct"] = metric(
+            100.0 * (par - base) / base, "pct", "lower"
+        )
+    if seq > 0:
+        out["parallel_vs_sequential_reduction_pct"] = metric(
+            100.0 * (seq - par) / seq, "pct", "higher"
+        )
+    return out
+
+
+def bench_fig4(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Figure 4: modelled execution-time speedup of the benchmarks."""
+    from ..experiments.common import threshold_pick
+    from ..perf.exec_model import (
+        ExecutionModel,
+        benchmark_results,
+        sensitive_benchmarks,
+    )
+
+    suite = context.suite
+    model = ExecutionModel()
+    runs = [context.run("baseline"), context.run("parallel"), context.run("cp")]
+    sensitive = sensitive_benchmarks(suite, runs, model)
+    pick, _invoked = threshold_pick(context, PRODUCTION_THRESHOLD)
+    results = benchmark_results(
+        suite, context.run("parallel"), model, benchmarks=sensitive, pick_aco=pick
+    )
+    significant = [r for r in results if r.significant]
+    ratios = [r.aco_throughput / r.base_throughput for r in significant]
+    geomean_pct = (
+        100.0 * (math.exp(sum(math.log(x) for x in ratios) / len(ratios)) - 1.0)
+        if ratios
+        else 0.0
+    )
+    improvements = [r.improvement_pct for r in significant if r.improvement_pct > 0]
+    regressions = [-r.improvement_pct for r in results if r.improvement_pct < 0]
+    return {
+        "significant_benchmarks": metric(len(significant), "benchmarks"),
+        "geomean_improvement_pct": metric(geomean_pct, "pct", "higher"),
+        "max_improvement_pct": metric(
+            max(improvements, default=0.0), "pct", "higher"
+        ),
+        "max_regression_pct": metric(max(regressions, default=0.0), "pct", "lower"),
+    }
+
+
+def bench_profile(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Profiler self-check plus kernel cost attribution rollups.
+
+    Runs last: it reads the span profiler and telemetry metrics the runner
+    installed before the other benches populated the context, and reconciles
+    the profiled seconds against the compile runs that actually executed.
+    """
+    prof = get_profiler()
+    out: Dict[str, Dict[str, object]] = {}
+    if prof.enabled:
+        att = attribution(prof.root)
+        run_seconds = sum(
+            run.total_seconds for run in context.computed_runs().values()
+        )
+        out["profiled_total_seconds"] = metric(att.total_seconds, "s")
+        out["leaf_attribution_fraction"] = metric(att.fraction, "ratio", "higher")
+        if run_seconds > 0:
+            out["profile_coverage_fraction"] = metric(
+                att.total_seconds / run_seconds, "ratio", "higher"
+            )
+    tele = get_telemetry()
+    if tele.collect_metrics:
+        for name in (
+            "gpusim.launches",
+            "gpusim.kernel_us",
+            "gpusim.transfer_us",
+            "gpusim.launch_us",
+            "gpusim.compute_cycles",
+            "gpusim.memory_cycles",
+            "gpusim.uniform_cycles",
+            "seq.steps",
+            "seq.ready_scans",
+        ):
+            m = tele.metrics.get(name)
+            if m is not None:
+                out[name.replace(".", "_")] = metric(m.value, "count")
+    return out
+
+
+#: Name -> extractor. Order matters: ``profile`` reconciles against the
+#: context state the earlier benches produced, so it stays last.
+BENCHES: Dict[str, Callable[[ExperimentContext], Dict[str, Dict[str, object]]]] = {
+    "table2": bench_table2,
+    "table3": bench_table3,
+    "table5": bench_table5,
+    "fig4": bench_fig4,
+    "profile": bench_profile,
+}
+
+
+# -- serialization -------------------------------------------------------------
+
+
+def bench_payload(
+    name: str,
+    context: ExperimentContext,
+    metrics: Dict[str, Dict[str, object]],
+    fingerprint: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    return {
+        "bench_schema": BENCH_SCHEMA,
+        "name": name,
+        "scale": context.scale.name,
+        "fingerprint": fingerprint
+        if fingerprint is not None
+        else environment_fingerprint(context.scale),
+        "metrics": metrics,
+    }
+
+
+def bench_filename(name: str) -> str:
+    return "BENCH_%s.json" % name
+
+
+def write_bench(out_dir: str, payload: Dict[str, object]) -> str:
+    """Write one bench payload; returns the file path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, bench_filename(str(payload["name"])))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run_benches(
+    context: ExperimentContext,
+    names: Optional[List[str]] = None,
+    fingerprint: Optional[Dict[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """Run the selected benches (all by default, registry order)."""
+    selected = list(BENCHES) if not names else list(names)
+    unknown = [n for n in selected if n not in BENCHES]
+    if unknown:
+        raise BenchError(
+            "unknown bench(es): %s (choose from %s)"
+            % (", ".join(unknown), ", ".join(BENCHES))
+        )
+    if fingerprint is None:
+        fingerprint = environment_fingerprint(context.scale)
+    payloads = []
+    for name in BENCHES:  # registry order, not selection order
+        if name not in selected:
+            continue
+        metrics = BENCHES[name](context)
+        payloads.append(bench_payload(name, context, metrics, fingerprint))
+    return payloads

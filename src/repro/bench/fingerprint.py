@@ -1,0 +1,91 @@
+"""Environment/configuration fingerprinting for BENCH_*.json.
+
+The fingerprint answers "what produced these numbers?" without breaking
+bit-stability: it records the interpreter, the library versions, the
+experiment-scale parameters and a digest of the calibration constants in
+:mod:`repro.timing` — but never a wall-clock timestamp, so re-running the
+same revision yields byte-identical files. The git revision is best-effort
+(read from ``.git`` directly; absent outside a checkout) and comparison
+never keys on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import platform
+import sys
+from typing import Dict, Optional
+
+from ..experiments.common import ExperimentScale
+from ..timing import DEFAULT_COMPILE_TIME, DEFAULT_CPU_COST, DEFAULT_GPU_COST
+
+
+def cost_model_digest() -> str:
+    """A short stable hash of every calibration constant in repro.timing."""
+    parts = []
+    for model in (DEFAULT_CPU_COST, DEFAULT_GPU_COST, DEFAULT_COMPILE_TIME):
+        for field in dataclasses.fields(model):
+            parts.append("%s.%s=%r" % (
+                type(model).__name__, field.name, getattr(model, field.name),
+            ))
+    blob = ";".join(sorted(parts)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def git_revision(repo_dir: Optional[str] = None) -> Optional[str]:
+    """The checked-out commit, read from ``.git`` without spawning git."""
+    if repo_dir is None:
+        # src/repro/bench/fingerprint.py -> repo root is three levels up
+        # from the package directory.
+        here = os.path.dirname(os.path.abspath(__file__))
+        repo_dir = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    head_path = os.path.join(repo_dir, ".git", "HEAD")
+    try:
+        with open(head_path, "r", encoding="utf-8") as handle:
+            head = handle.read().strip()
+        if head.startswith("ref:"):
+            ref = head.split(None, 1)[1]
+            ref_path = os.path.join(repo_dir, ".git", *ref.split("/"))
+            if os.path.exists(ref_path):
+                with open(ref_path, "r", encoding="utf-8") as handle:
+                    return handle.read().strip()
+            packed = os.path.join(repo_dir, ".git", "packed-refs")
+            if os.path.exists(packed):
+                with open(packed, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        if line.strip().endswith(ref):
+                            return line.split()[0]
+            return None
+        return head or None
+    except OSError:
+        return None
+
+
+def environment_fingerprint(scale: ExperimentScale) -> Dict[str, object]:
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "git": git_revision(),
+        "cost_model_digest": cost_model_digest(),
+        "scale": {
+            "name": scale.name,
+            "num_benchmarks": scale.suite.num_benchmarks,
+            "num_kernels": scale.suite.num_kernels,
+            "regions_per_kernel": scale.suite.regions_per_kernel,
+            "seed": scale.suite.seed,
+            "max_region_size": scale.max_region_size,
+            "blocks": scale.gpu.blocks,
+            "large_region_floor": scale.large_region_floor,
+        },
+    }

@@ -8,8 +8,11 @@ geometry) defaults to ``default`` and can also be set with the
 Observability: ``--trace PATH`` streams every telemetry event (regions,
 ACO iterations, simulated kernel launches — the schema of
 :mod:`repro.telemetry.schema`) to a JSONL file and prints its profile;
-``--metrics`` collects and prints the metrics registry. Both leave results
-bit-identical: telemetry observes, it never steers.
+``--metrics`` collects and prints the metrics registry; ``--profile``
+renders the hierarchical span profile of the run's simulated time and
+``--profile-stacks PATH`` writes it in collapsed-stack format for
+flamegraph/speedscope tooling (see :mod:`repro.profile`). All of them
+leave results bit-identical: observability observes, it never steers.
 
 Verification: ``--verify`` turns on the scheduler sanitizer
 (:mod:`repro.analysis`) — every shipped schedule is independently
@@ -73,6 +76,19 @@ def main(argv: List[str] = None) -> int:
         "the end",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run's simulated time with the span profiler and "
+        "print the span tree at the end (see repro.profile)",
+    )
+    parser.add_argument(
+        "--profile-stacks",
+        metavar="PATH",
+        default=None,
+        help="write the span profile in collapsed-stack format to PATH "
+        "(feed to flamegraph.pl or speedscope); implies --profile",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="run the scheduler sanitizer: independent verification of "
@@ -110,18 +126,25 @@ def main(argv: List[str] = None) -> int:
         csv_dir = args.csv
         os.makedirs(csv_dir, exist_ok=True)
 
-    from contextlib import nullcontext
+    from contextlib import ExitStack
 
-    session = nullcontext()
+    stack = ExitStack()
     telemetry = None
     if args.trace or args.metrics:
         from .telemetry import JSONLSink, Telemetry, telemetry_session
 
         sink = JSONLSink(args.trace) if args.trace else None
         telemetry = Telemetry(sink=sink, collect_metrics=args.metrics or None)
-        session = telemetry_session(telemetry)
+        stack.enter_context(telemetry_session(telemetry))
 
-    with session:
+    profiler = None
+    if args.profile or args.profile_stacks:
+        from .profile import SpanProfiler, profile_session
+
+        profiler = SpanProfiler()
+        stack.enter_context(profile_session(profiler))
+
+    with stack:
         for name in names:
             started = time.time()
             result = EXPERIMENTS[name](context)
@@ -146,6 +169,13 @@ def main(argv: List[str] = None) -> int:
 
         print("[trace written to %s]" % args.trace)
         print(summarize_trace(args.trace))
+    if profiler is not None:
+        from .profile import render_tree, write_collapsed
+
+        print(render_tree(profiler.root))
+        if args.profile_stacks:
+            write_collapsed(args.profile_stacks, profiler.root)
+            print("[collapsed stacks written to %s]" % args.profile_stacks)
     return 0
 
 

@@ -54,6 +54,14 @@ class TelemetryError(ReproError):
     """Telemetry misuse: bad metric kinds, schema-invalid trace records."""
 
 
+class ProfileError(ReproError):
+    """Span-profiler misuse (corrupted span stack)."""
+
+
+class BenchError(ReproError):
+    """Continuous-benchmark harness failure (bad BENCH file, bad baseline)."""
+
+
 class AnalysisError(ReproError):
     """Static-analysis / verification layer failure (repro.analysis)."""
 

@@ -199,6 +199,12 @@ class ExperimentContext:
             self._runs[key] = self._pipeline(kind, filters).compile_suite(self.suite)
         return self._runs[key]
 
+    def computed_runs(self) -> Dict[str, CompileRun]:
+        """Snapshot of the compile runs computed so far (``kind@threshold``
+        keys). The bench harness reads it to reconcile profiled seconds
+        against the runs that actually executed."""
+        return dict(self._runs)
+
     # -- derived data ----------------------------------------------------------
 
     def speedup_records(self) -> List[SpeedupRecord]:

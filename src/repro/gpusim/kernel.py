@@ -15,6 +15,7 @@ from typing import Union
 import numpy as np
 
 from ..errors import GPUSimError
+from ..profile.attribution import attribute_seconds
 from .device import GPUDevice
 
 ArrayOrFloat = Union[np.ndarray, float, int]
@@ -111,7 +112,21 @@ class KernelAccounting:
         total_cycles = 0.0
         for start in range(0, self.num_wavefronts, cap):
             total_cycles += float(self.wavefront_cycles[start:start + cap].max())
-        return total_cycles / self.device.cost.clock_hz
+        return self.device.cost.cycles_to_seconds(total_cycles)
+
+    def batches(self) -> int:
+        """Execution batches (capacity waves) this launch needs."""
+        return self.device.batches(self.num_wavefronts)
+
+    def attributed_seconds(self) -> dict:
+        """Kernel seconds split per category by cycle share.
+
+        Keys are the categories of :meth:`charge_totals` without the
+        ``_cycles`` suffix; the values sum to :meth:`kernel_seconds` up to
+        float rounding (the profiler and the ``kernel_launch`` telemetry
+        event both publish this split).
+        """
+        return attribute_seconds(self.kernel_seconds(), self.charge_totals())
 
 
 class TransferAccounting:

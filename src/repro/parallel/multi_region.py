@@ -31,6 +31,7 @@ from ..ddg.graph import DDG
 from ..errors import GPUSimError
 from ..gpusim.device import GPUDevice
 from ..machine.model import MachineModel
+from ..profile import get_profiler
 from ..schedule.schedule import Schedule
 from ..telemetry import Telemetry, get_telemetry
 from .scheduler import ParallelACOResult, ParallelACOScheduler
@@ -154,9 +155,11 @@ class MultiRegionScheduler:
             num_regions=len(items),
             blocks_per_region=list(blocks),
         )
-        results = [
-            self._region_result(item, b) for item, b in zip(items, blocks)
-        ]
+        prof = get_profiler()
+        with prof.span("batch", "batch"):
+            results = [
+                self._region_result(item, b) for item, b in zip(items, blocks)
+            ]
 
         cost = self.device.cost
         launch = cost.launch_overhead

@@ -40,6 +40,7 @@ from ..gpusim.reduction import reduction_cycles
 from ..heuristics.list_scheduler import schedule_in_order
 from ..ir.registers import RegisterClass
 from ..machine.model import MachineModel
+from ..profile import get_profiler
 from ..rp.cost import rp_cost, rp_cost_lower_bound
 from ..rp.liveness import peak_pressure
 from ..schedule.schedule import Schedule
@@ -129,6 +130,13 @@ class ParallelACOScheduler:
         if not tele.active:
             return
         totals = accounting.charge_totals()
+        # Optional (schema-v1 extra) attribution fields: the full cost
+        # breakdown travels with the event so a trace alone can attribute
+        # every launch's seconds (see repro.profile.attribution).
+        attributed = {
+            name + "_seconds": value
+            for name, value in accounting.attributed_seconds().items()
+        }
         tele.emit(
             "kernel_launch",
             region=region_name,
@@ -144,7 +152,13 @@ class ParallelACOScheduler:
             dead_ants=colony.dead_ants_total,
             ready_peak=colony.ready_peak,
             ready_capacity=data.ready_capacity,
+            batches=accounting.batches(),
+            coalesced=accounting.coalesced,
+            coalescing_factor=(
+                1.0 if accounting.coalesced else self.device.cost.uncoalesced_factor
+            ),
             **totals,
+            **attributed,
         )
         tele.emit(
             "transfer",
@@ -174,6 +188,31 @@ class ParallelACOScheduler:
             m.histogram(
                 "parallel.ready_occupancy_pct", OCCUPANCY_PCT_BUCKETS
             ).observe(100.0 * colony.ready_peak / data.ready_capacity)
+
+    def _profile_launch(
+        self,
+        pass_index: int,
+        accounting: KernelAccounting,
+        transfer_seconds: float,
+        launch_seconds: float,
+    ) -> None:
+        """Charge one simulated launch to the span profiler.
+
+        The pass's whole modelled time lands on leaf spans: transfer and
+        launch overhead directly, kernel time split per cost category by
+        cycle share (so region -> pass -> kernel/compute etc. nest under
+        whatever span the caller — usually the pipeline's region span —
+        has open).
+        """
+        prof = get_profiler()
+        if not prof.enabled:
+            return
+        with prof.span("pass%d" % pass_index, "pass"):
+            prof.charge_leaf("transfer", transfer_seconds, "transfer")
+            prof.charge_leaf("launch", launch_seconds, "launch")
+            with prof.span("kernel", "kernel"):
+                for category, seconds in accounting.attributed_seconds().items():
+                    prof.charge_leaf(category, seconds, "kernel")
 
     # -- shared plumbing -----------------------------------------------------
 
@@ -277,6 +316,7 @@ class ParallelACOScheduler:
         kernel_seconds = accounting.kernel_seconds()
         transfer_seconds = transfer.seconds()
         launch_seconds = self.device.cost.launch_overhead
+        self._profile_launch(1, accounting, transfer_seconds, launch_seconds)
         pass_result = ParallelPassResult(
             invoked=True,
             iterations=tracker.iterations,
@@ -382,6 +422,7 @@ class ParallelACOScheduler:
         kernel_seconds = accounting.kernel_seconds()
         transfer_seconds = transfer.seconds()
         launch_seconds = self.device.cost.launch_overhead
+        self._profile_launch(2, accounting, transfer_seconds, launch_seconds)
         pass_result = ParallelPassResult(
             invoked=True,
             iterations=tracker.iterations,

@@ -32,6 +32,7 @@ from ..errors import PipelineError
 from ..heuristics.amd_max_occupancy import AMDMaxOccupancyScheduler
 from ..machine.model import MachineModel
 from ..parallel.scheduler import ParallelACOScheduler
+from ..profile import get_profiler
 from ..rp.cost import ScheduleQuality, evaluate_schedule, rp_cost_lower_bound
 from ..schedule.schedule import Schedule
 from ..suite.rocprim import KernelSpec, Suite
@@ -199,7 +200,8 @@ class CompilePipeline:
                 size=len(ddg.region),
                 scheduler=self.scheduler_name,
             )
-        outcome = self._compile_region(ddg, seed)
+        with get_profiler().span(ddg.region.name, "region"):
+            outcome = self._compile_region(ddg, seed)
         if self.verify_enabled:
             self._verify_region(tele, ddg, outcome)
         if tele.active:
@@ -256,6 +258,9 @@ class CompilePipeline:
         heuristic_schedule = self.baseline.schedule(ddg)
         heuristic_quality = evaluate_schedule(heuristic_schedule, self.machine)
         heuristic_seconds = self.compile_time_model.heuristic_seconds(len(region))
+        prof = get_profiler()
+        if prof.enabled:
+            prof.charge_leaf("heuristic", heuristic_seconds, "heuristic")
 
         outcome = RegionOutcome(
             region_name=region.name,
@@ -326,11 +331,16 @@ class CompilePipeline:
                 scheduler=self.scheduler_name,
                 num_kernels=len(suite.kernels),
             )
+        prof = get_profiler()
+        prof.push("suite:%s" % self.scheduler_name, "suite")
         kernels = tuple(
             self.compile_kernel(kernel, suite.params.seed) for kernel in suite.kernels
         )
         total_instructions = sum(k.kernel.total_instructions for k in kernels)
         base = self.compile_time_model.base_seconds(total_instructions, len(kernels))
+        if prof.enabled:
+            prof.charge_leaf("base_compile", base, "base")
+        prof.pop()
         run = CompileRun(
             scheduler_name=self.scheduler_name, kernels=kernels, base_seconds=base
         )

@@ -1,0 +1,71 @@
+"""Performance observability: span profiling and kernel cost attribution.
+
+Layered on :mod:`repro.telemetry` (events record *what happened*, spans
+record *where the simulated time went*). Three pieces:
+
+* :mod:`repro.profile.spans` — the hierarchical span profiler
+  (context-manager + decorator API, merge-by-name tree, inert default);
+* :mod:`repro.profile.report` — terminal tree rendering, collapsed-stack
+  (flamegraph/speedscope) export, leaf-attribution accounting;
+* :mod:`repro.profile.attribution` — kernel cost attribution: per-category
+  seconds from :class:`~repro.gpusim.kernel.KernelAccounting` breakdowns
+  and per-phase rollups over recorded traces.
+
+Enable from the CLI with ``repro <experiment> --profile`` (tree report)
+and ``--profile-stacks PATH`` (collapsed stacks); programmatically::
+
+    from repro.profile import SpanProfiler, profile_session, render_tree
+
+    with profile_session(SpanProfiler()) as prof:
+        CompilePipeline(machine, scheduler=...).compile_suite(suite)
+    print(render_tree(prof))
+
+Seeded results are bit-identical with profiling on or off: spans only
+accumulate seconds the deterministic cost models already computed.
+"""
+
+from .attribution import (
+    CYCLE_CATEGORIES,
+    PhaseRollup,
+    attribute_seconds,
+    kernel_phase_rollup,
+    render_kernel_rollup,
+)
+from .report import (
+    Attribution,
+    attribution,
+    collapsed_stacks,
+    render_tree,
+    top_leaves,
+    write_collapsed,
+)
+from .spans import (
+    NullProfiler,
+    Span,
+    SpanProfiler,
+    get_profiler,
+    profile_session,
+    profiled,
+    set_profiler,
+)
+
+__all__ = [
+    "Span",
+    "SpanProfiler",
+    "NullProfiler",
+    "get_profiler",
+    "set_profiler",
+    "profile_session",
+    "profiled",
+    "Attribution",
+    "attribution",
+    "render_tree",
+    "collapsed_stacks",
+    "write_collapsed",
+    "top_leaves",
+    "CYCLE_CATEGORIES",
+    "PhaseRollup",
+    "attribute_seconds",
+    "kernel_phase_rollup",
+    "render_kernel_rollup",
+]

@@ -1,0 +1,145 @@
+"""Kernel cost attribution: per-category seconds and per-phase rollups.
+
+:class:`~repro.gpusim.kernel.KernelAccounting` keeps a per-*category*
+cycle breakdown (compute / memory / alloc / uniform), but a launch's
+execution time is the batch-wise *maximum* over wavefronts, not the cycle
+sum — so cycles do not convert to seconds directly. The attribution rule
+here splits a launch's kernel seconds across categories **proportionally
+to the category cycle shares**, which is exact when wavefronts are
+balanced and a faithful estimate under divergence (the serialized waves
+inflate every category's share alike).
+
+The same rule applied to recorded ``kernel_launch`` trace events gives
+:func:`kernel_phase_rollup`: per-pass totals of kernel/transfer/launch
+time, attributed per-category seconds, divergence serialization and dead
+ants. It needs only the schema-v1 fields, so traces recorded before the
+profiler existed still attribute their cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+#: Cycle-category keys of ``KernelAccounting.charge_totals()``, in stable
+#: report order; attribute names drop the ``_cycles`` suffix.
+CYCLE_CATEGORIES = ("compute_cycles", "memory_cycles", "alloc_cycles", "uniform_cycles")
+
+
+def attribute_seconds(kernel_seconds: float, charge_totals: Dict[str, float]) -> Dict[str, float]:
+    """Split ``kernel_seconds`` across categories by cycle share.
+
+    Keys are category names without the ``_cycles`` suffix; the values sum
+    to ``kernel_seconds`` up to float rounding (compute absorbs everything
+    when no cycles were charged).
+    """
+    total_cycles = sum(charge_totals.get(key, 0.0) for key in CYCLE_CATEGORIES)
+    out: Dict[str, float] = {}
+    if total_cycles <= 0.0:
+        for key in CYCLE_CATEGORIES:
+            out[key[: -len("_cycles")]] = 0.0
+        out["compute"] = kernel_seconds
+        return out
+    for key in CYCLE_CATEGORIES:
+        out[key[: -len("_cycles")]] = (
+            kernel_seconds * charge_totals.get(key, 0.0) / total_cycles
+        )
+    return out
+
+
+@dataclass
+class PhaseRollup:
+    """Aggregated launch costs for one ACO pass (the per-phase rollup)."""
+
+    pass_index: int
+    launches: int = 0
+    iterations: int = 0
+    wavefronts: int = 0
+    kernel_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    launch_seconds: float = 0.0
+    #: Cycle totals per category, summed across launches.
+    cycles: Dict[str, float] = field(default_factory=dict)
+    #: Attributed seconds per category, summed across launches.
+    seconds: Dict[str, float] = field(default_factory=dict)
+    serialized_selection_waves: int = 0
+    serialized_stall_waves: int = 0
+    dead_ants: int = 0
+    #: Execution batches (capacity waves), when the trace recorded them
+    #: (an optional field newer traces carry).
+    batches: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.kernel_seconds + self.transfer_seconds + self.launch_seconds
+
+
+def kernel_phase_rollup(records: Iterable[Dict]) -> Dict[int, PhaseRollup]:
+    """Aggregate ``kernel_launch`` events per ``pass_index``.
+
+    Consumes any iterable of schema-v1 records (other event types are
+    ignored), so it works on ``read_trace`` output, lenient reads of
+    damaged traces, and in-memory ``MemorySink`` record lists alike.
+    """
+    rollups: Dict[int, PhaseRollup] = {}
+    for record in records:
+        if record.get("event") != "kernel_launch":
+            continue
+        phase = rollups.setdefault(
+            record["pass_index"], PhaseRollup(pass_index=record["pass_index"])
+        )
+        phase.launches += 1
+        phase.iterations += record["iterations"]
+        phase.wavefronts += record["wavefronts"]
+        phase.kernel_seconds += record["kernel_seconds"]
+        phase.transfer_seconds += record["transfer_seconds"]
+        phase.launch_seconds += record["launch_seconds"]
+        totals = {key: record.get(key, 0.0) for key in CYCLE_CATEGORIES}
+        for key, value in totals.items():
+            phase.cycles[key] = phase.cycles.get(key, 0.0) + value
+        for name, value in attribute_seconds(record["kernel_seconds"], totals).items():
+            phase.seconds[name] = phase.seconds.get(name, 0.0) + value
+        phase.serialized_selection_waves += record["serialized_selection_waves"]
+        phase.serialized_stall_waves += record["serialized_stall_waves"]
+        phase.dead_ants += record["dead_ants"]
+        phase.batches += record.get("batches", 0)
+    return rollups
+
+
+def render_kernel_rollup(rollups: Dict[int, PhaseRollup]) -> str:
+    """A text table of the per-phase launch-cost rollups."""
+    if not rollups:
+        return "(no kernel_launch events — nothing to attribute)\n"
+    lines: List[str] = []
+    for pass_index in sorted(rollups):
+        phase = rollups[pass_index]
+        lines.append(
+            "pass %d: %d launch(es), %d iteration(s), %d wavefront(s)"
+            % (pass_index, phase.launches, phase.iterations, phase.wavefronts)
+        )
+        lines.append(
+            "  time split: kernel %.1f us, transfer %.1f us, launch %.1f us"
+            % (
+                phase.kernel_seconds * 1e6,
+                phase.transfer_seconds * 1e6,
+                phase.launch_seconds * 1e6,
+            )
+        )
+        total = phase.kernel_seconds or 1.0
+        parts = ", ".join(
+            "%s %.1f us (%.0f%%)"
+            % (name, seconds * 1e6, 100.0 * seconds / total)
+            for name, seconds in sorted(phase.seconds.items(), key=lambda kv: -kv[1])
+        )
+        lines.append("  kernel attribution: %s" % parts)
+        lines.append(
+            "  divergence: %d selection wave(s), %d stall wave(s), %d dead ant(s)"
+            % (
+                phase.serialized_selection_waves,
+                phase.serialized_stall_waves,
+                phase.dead_ants,
+            )
+        )
+        if phase.batches:
+            lines.append("  execution batches: %d" % phase.batches)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,160 @@
+"""Rendering profiles: terminal trees, collapsed stacks, attribution.
+
+* :func:`render_tree` — an indented self/total/count table of the span
+  tree, children ranked by total time, long sibling lists collapsed into
+  one ``(+N more)`` line;
+* :func:`collapsed_stacks` — the classic semicolon-separated collapsed-
+  stack format (``run;region;pass1;construct 1234``, value = self time in
+  integer microseconds) consumed by ``flamegraph.pl`` and speedscope's
+  Brendan-Gregg importer;
+* :func:`attribution` — how much of the tree's simulated time lands on
+  *leaf* spans (the acceptance metric: a healthy instrumentation charges
+  everything to leaves, so the fraction sits at ~1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from .spans import Span, SpanProfiler
+
+
+def _root_of(source: Union[Span, SpanProfiler]) -> Span:
+    return source.root if isinstance(source, SpanProfiler) else source
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """Leaf-attribution summary of one span tree."""
+
+    total_seconds: float
+    leaf_seconds: float
+
+    @property
+    def fraction(self) -> float:
+        """Share of total simulated time attributed to leaf spans."""
+        return self.leaf_seconds / self.total_seconds if self.total_seconds else 1.0
+
+
+def attribution(source: Union[Span, SpanProfiler]) -> Attribution:
+    root = _root_of(source)
+    return Attribution(
+        total_seconds=root.total_seconds, leaf_seconds=root.leaf_seconds()
+    )
+
+
+def _format_us(seconds: float) -> str:
+    return "%.1f" % (seconds * 1e6)
+
+
+def render_tree(
+    source: Union[Span, SpanProfiler],
+    max_children: int = 12,
+    min_fraction: float = 0.0005,
+) -> str:
+    """The terminal profile: one line per span, ranked siblings.
+
+    ``max_children`` bounds how many children of one parent are listed
+    (the rest fold into a ``(+N more)`` line); ``min_fraction`` folds
+    children below that share of the root's total time.
+    """
+    root = _root_of(source)
+    grand_total = root.total_seconds
+    lines: List[str] = []
+    lines.append(
+        "span profile: %.1f us simulated across %d span(s)"
+        % (grand_total * 1e6, sum(1 for _ in root.walk()))
+    )
+    lines.append(
+        "  %12s  %12s  %7s  %6s  span" % ("total(us)", "self(us)", "count", "%")
+    )
+
+    def emit(span: Span, depth: int) -> None:
+        total = span.total_seconds
+        share = 100.0 * total / grand_total if grand_total else 0.0
+        lines.append(
+            "  %12s  %12s  %7d  %5.1f%%  %s%s"
+            % (
+                _format_us(total),
+                _format_us(span.self_seconds),
+                span.count,
+                share,
+                "  " * depth,
+                span.name,
+            )
+        )
+        children = sorted(
+            span.children.values(), key=lambda c: -c.total_seconds
+        )
+        shown = [
+            c
+            for c in children[:max_children]
+            if grand_total == 0 or c.total_seconds >= min_fraction * grand_total
+        ]
+        hidden = [c for c in children if c not in shown]
+        for child in shown:
+            emit(child, depth + 1)
+        if hidden:
+            lines.append(
+                "  %12s  %12s  %7d  %5.1f%%  %s(+%d more)"
+                % (
+                    _format_us(sum(c.total_seconds for c in hidden)),
+                    _format_us(sum(c.self_seconds for c in hidden)),
+                    sum(c.count for c in hidden),
+                    100.0 * sum(c.total_seconds for c in hidden) / grand_total
+                    if grand_total
+                    else 0.0,
+                    "  " * (depth + 1),
+                    len(hidden),
+                )
+            )
+
+    emit(root, 0)
+    stats = attribution(root)
+    lines.append(
+        "leaf attribution: %.2f%% of %.1f us"
+        % (100.0 * stats.fraction, stats.total_seconds * 1e6)
+    )
+    return "\n".join(lines) + "\n"
+
+
+def collapsed_stacks(
+    source: Union[Span, SpanProfiler], scale: float = 1e6
+) -> List[str]:
+    """Collapsed-stack lines (``a;b;c VALUE``) for flamegraph/speedscope.
+
+    ``VALUE`` is the span's *self* time scaled by ``scale`` (default:
+    microseconds) and rounded to an integer; zero-valued frames are
+    omitted, as the format expects.
+    """
+    root = _root_of(source)
+    lines: List[str] = []
+    for path, span in root.walk():
+        value = int(round(span.self_seconds * scale))
+        if value > 0:
+            lines.append("%s %d" % (";".join(path), value))
+    return lines
+
+
+def write_collapsed(path: str, source: Union[Span, SpanProfiler]) -> int:
+    """Write collapsed stacks to ``path``; returns the line count."""
+    lines = collapsed_stacks(source)
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def top_leaves(
+    source: Union[Span, SpanProfiler], top: Optional[int] = None
+) -> List[tuple]:
+    """``(path, seconds)`` for leaf spans, heaviest first (rollup input)."""
+    root = _root_of(source)
+    leaves = [
+        ("/".join(path), span.self_seconds)
+        for path, span in root.walk()
+        if span.is_leaf and span.self_seconds > 0
+    ]
+    leaves.sort(key=lambda item: -item[1])
+    return leaves[:top] if top else leaves

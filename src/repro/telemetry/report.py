@@ -16,8 +16,9 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, List, Union
 
+from ..errors import TelemetryError
 from .metrics import MetricsRegistry
-from .schema import read_trace, validate_event
+from .schema import read_trace_lenient, validate_event
 
 _BAR_WIDTH = 30
 
@@ -39,13 +40,31 @@ def _histogram_lines(counts: Dict[int, int], label: str) -> List[str]:
 
 
 def summarize_trace(source: Union[str, Iterable[Dict]], top: int = 10) -> str:
-    """Render the profile of one trace (a path or an iterable of records)."""
+    """Render the profile of one trace (a path or an iterable of records).
+
+    Reading is *lenient*: unparsable or schema-invalid records — a trace
+    truncated by a killed run, or a file that is not a trace at all — are
+    skipped and counted instead of raising, and an empty trace yields a
+    friendly one-line summary.
+    """
     if isinstance(source, str):
-        records = read_trace(source)
+        records, skipped = read_trace_lenient(source)
     else:
-        records = list(source)
-        for record in records:
-            validate_event(record)
+        records = []
+        skipped = 0
+        for record in source:
+            try:
+                validate_event(record)
+            except TelemetryError:
+                skipped += 1
+                continue
+            records.append(record)
+
+    if not records:
+        line = "trace summary: no valid records"
+        if skipped:
+            line += " (skipped %d invalid or truncated line(s))" % skipped
+        return line + "\n"
 
     by_type: Dict[str, int] = defaultdict(int)
     region_seconds: Dict[str, float] = defaultdict(float)
@@ -77,6 +96,8 @@ def summarize_trace(source: Union[str, Iterable[Dict]], top: int = 10) -> str:
 
     lines: List[str] = []
     lines.append("trace summary: %d record(s)" % len(records))
+    if skipped:
+        lines.append("  skipped %d invalid or truncated line(s)" % skipped)
     lines.append(
         "  events: "
         + ", ".join("%s=%d" % (t, by_type[t]) for t in sorted(by_type))
@@ -172,13 +193,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--top", type=int, default=10, help="regions to rank (default 10)"
     )
+    parser.add_argument(
+        "--kernels",
+        action="store_true",
+        help="also print the per-pass kernel cost attribution rollup",
+    )
     args = parser.parse_args(argv)
     import sys
 
-    from ..errors import TelemetryError
-
     try:
         print(summarize_trace(args.trace, top=args.top), end="")
+        if args.kernels:
+            from ..profile.attribution import (
+                kernel_phase_rollup,
+                render_kernel_rollup,
+            )
+            from .schema import read_trace_lenient as _read
+
+            records, _skipped = _read(args.trace)
+            print()
+            print(render_kernel_rollup(kernel_phase_rollup(records)), end="")
     except (OSError, TelemetryError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2

@@ -147,6 +147,31 @@ def read_trace(path: str) -> List[Dict]:
     return list(iter_trace(path))
 
 
+def read_trace_lenient(path: str) -> Tuple[List[Dict], int]:
+    """Best-effort trace reading: ``(valid records, skipped line count)``.
+
+    Unparsable or schema-invalid lines are counted and skipped instead of
+    raising, so a truncated trace (a run killed mid-write) still yields the
+    records that made it to disk. Use :func:`read_trace` when corruption
+    should be an error.
+    """
+    records: List[Dict] = []
+    skipped = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                validate_event(record)
+            except (ValueError, TelemetryError):
+                skipped += 1
+                continue
+            records.append(record)
+    return records, skipped
+
+
 def validate_trace(source: Union[str, Iterable[Dict]]) -> int:
     """Validate a trace file path or an iterable of records.
 

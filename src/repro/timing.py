@@ -90,6 +90,10 @@ class GPUCostModel:
     def copy_seconds(self, num_bytes: int, num_calls: int) -> float:
         return num_calls * self.per_copy_call + num_bytes / self.copy_bandwidth
 
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert device cycles to seconds at the model's core clock."""
+        return cycles / self.clock_hz
+
     def kernel_seconds(self, wavefront_cycles: float, num_wavefronts: int) -> float:
         """Seconds for ``num_wavefronts`` identical-cost wavefronts.
 

@@ -22,11 +22,26 @@ class TestGPUDevice:
         assert device.batches(240) == 1
         assert device.batches(241) == 2
 
+    def test_batches_exact_capacity_multiples(self):
+        device = GPUDevice()
+        cap = device.concurrent_wavefronts
+        for k in (1, 2, 3):
+            assert device.batches(k * cap) == k
+            assert device.batches(k * cap + 1) == k + 1
+
+    def test_batches_single_wavefront_device(self):
+        device = GPUDevice(compute_units=1, simds_per_cu=1)
+        assert device.concurrent_wavefronts == 1
+        assert device.batches(1) == 1
+        assert device.batches(7) == 7
+
     def test_validation(self):
         with pytest.raises(GPUSimError):
             GPUDevice(compute_units=0)
         with pytest.raises(GPUSimError):
             GPUDevice().batches(0)
+        with pytest.raises(GPUSimError):
+            GPUDevice().batches(-3)
 
 
 class TestKernelAccounting:
@@ -76,6 +91,35 @@ class TestKernelAccounting:
     def test_zero_wavefronts_rejected(self):
         with pytest.raises(GPUSimError):
             KernelAccounting(GPUDevice(), 0, coalesced=True)
+        with pytest.raises(GPUSimError):
+            KernelAccounting(GPUDevice(), -1, coalesced=True)
+
+    def test_launch_batches_match_device(self):
+        acc = KernelAccounting(GPUDevice(), 241, coalesced=True)
+        assert acc.batches() == 2
+
+    def test_attributed_seconds_sums_to_kernel_seconds(self):
+        device = self._device(clock_hz=1e9)
+        acc = KernelAccounting(device, 4, coalesced=True, dynamic_alloc=True)
+        acc.charge_compute(np.array([10.0, 20.0, 30.0, 40.0]))
+        acc.charge_memory(3.0)
+        acc.charge_alloc(2.0)
+        acc.charge_uniform_cycles(5.0)
+        split = acc.attributed_seconds()
+        assert set(split) == {"compute", "memory", "alloc", "uniform"}
+        assert sum(split.values()) == pytest.approx(acc.kernel_seconds())
+        assert all(v >= 0 for v in split.values())
+        # Shares follow the cycle shares.
+        totals = acc.charge_totals()
+        total_cycles = sum(totals.values())
+        for name, value in split.items():
+            expected = acc.kernel_seconds() * totals[name + "_cycles"] / total_cycles
+            assert value == pytest.approx(expected)
+
+    def test_attributed_seconds_zero_cycles(self):
+        acc = KernelAccounting(GPUDevice(), 2, coalesced=True)
+        split = acc.attributed_seconds()
+        assert split == {"compute": 0.0, "memory": 0.0, "alloc": 0.0, "uniform": 0.0}
 
 
 class TestTransferAccounting:
@@ -95,6 +139,26 @@ class TestTransferAccounting:
             for _ in range(10):
                 t.add_array(1000)
         assert naive.seconds() > batched.seconds()
+
+    def test_unbatched_exact_math(self):
+        device = GPUDevice(cost=GPUCostModel(per_copy_call=1e-6, copy_bandwidth=1e9))
+        naive = TransferAccounting(device, batched=False)
+        for _ in range(7):
+            naive.add_array(500)
+        # 7 per-array H2D calls + 1 copy-back, plus byte time.
+        assert naive.seconds() == pytest.approx(8 * 1e-6 + 3500 / 1e9)
+        # The batched/unbatched gap is exactly the saved per-call overhead.
+        batched = TransferAccounting(device, batched=True)
+        for _ in range(7):
+            batched.add_array(500)
+        assert naive.seconds() - batched.seconds() == pytest.approx(6 * 1e-6)
+
+    def test_empty_transfer_still_pays_calls(self):
+        device = GPUDevice(cost=GPUCostModel(per_copy_call=1e-6, copy_bandwidth=1e9))
+        # No arrays added: one (degenerate) H2D call + the copy-back.
+        for batched in (True, False):
+            transfer = TransferAccounting(device, batched=batched)
+            assert transfer.seconds() == pytest.approx(2e-6)
 
     def test_add_ndarray(self):
         transfer = TransferAccounting(GPUDevice(), batched=True)

@@ -159,6 +159,31 @@ class TestSinksAndSchema:
         with pytest.raises(TelemetryError):
             validate_trace(path)
 
+    def test_kernel_launch_carries_attribution_fields(self):
+        """Satellite of the profiler work: every simulated launch reports
+        its full charge_totals() split, attributed seconds, batch count and
+        coalescing mode — as *optional* extras, so the record stays valid
+        under the unchanged schema-v1 required-field lists."""
+        sink = MemorySink()
+        _schedule_both(Telemetry(sink=sink))
+        launches = sink.by_type("kernel_launch")
+        assert launches
+        for rec in launches:
+            validate_event(rec)
+            assert rec["batches"] >= 1
+            assert isinstance(rec["coalesced"], bool)
+            assert rec["coalescing_factor"] >= 1.0
+            split = sum(
+                rec[k]
+                for k in (
+                    "compute_seconds",
+                    "memory_seconds",
+                    "alloc_seconds",
+                    "uniform_seconds",
+                )
+            )
+            assert split == pytest.approx(rec["kernel_seconds"])
+
     def test_fixture_trace_is_schema_valid(self):
         assert validate_trace(FIXTURE) > 0
         records = read_trace(FIXTURE)
@@ -222,6 +247,36 @@ class TestReport:
         registry.histogram("h", (1, 2)).observe(1)
         text = render_metrics(registry)
         assert "counter" in text and "gauge" in text and "histogram" in text
+
+    def test_summarize_empty_file_is_friendly(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        text = summarize_trace(str(path))
+        assert "no valid records" in text
+
+    def test_summarize_truncated_trace_counts_skipped(self, tmp_path):
+        good = open(FIXTURE).readline()
+        path = tmp_path / "trunc.jsonl"
+        # One valid record, one mid-write truncation, one alien line.
+        path.write_text(good + good[: len(good) // 2] + "\nnot json at all\n")
+        text = summarize_trace(str(path))
+        assert "trace summary: 1 record(s)" in text
+        assert "skipped 2 invalid or truncated line(s)" in text
+
+    def test_summarize_record_list_skips_invalid(self):
+        records = read_trace(FIXTURE)
+        text = summarize_trace(records + [{"event": "bogus"}, {}])
+        assert "skipped 2 invalid or truncated line(s)" in text
+
+    def test_read_trace_lenient(self, tmp_path):
+        from repro.telemetry.schema import read_trace_lenient
+
+        good = open(FIXTURE).readline()
+        path = tmp_path / "t.jsonl"
+        path.write_text(good + "{broken\n" + good)
+        records, skipped = read_trace_lenient(str(path))
+        assert len(records) == 2
+        assert skipped == 1
 
 
 def _schedule_both(telemetry):
