@@ -159,6 +159,81 @@ def bench_fig4(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
     }
 
 
+#: Table-2-scale duel regions for ``bench_backend``: one per paper size
+#: class (1-49, 50-99, and the >=100 band clipped to the scale's cap).
+_BACKEND_DUEL_REGIONS = (("reduce", 3, 30), ("sort", 5, 55), ("stencil", 1, 80))
+
+
+def _construct_stats(context: ExperimentContext, backend: str):
+    """Schedule the duel regions with one backend; return the construction
+    hot path's cost-model totals (summed over launches).
+
+    "Construction" is the per-step work the backends execute differently —
+    the compute/memory/alloc attribution of each kernel launch; the
+    wavefront-uniform overhead (reduction, pheromone, barriers) is
+    identical by construction and excluded.
+    """
+    import random
+
+    from ..ddg import DDG
+    from ..parallel import ParallelACOScheduler
+    from ..suite.patterns import pattern_region
+    from ..telemetry import MemorySink, Telemetry
+
+    sink = MemorySink()
+    scheduler = ParallelACOScheduler(
+        context.machine,
+        params=context.scale.aco,
+        gpu_params=context.scale.gpu,
+        telemetry=Telemetry(sink=sink),
+        backend=backend,
+    )
+    orders = []
+    for pattern, seed, size in _BACKEND_DUEL_REGIONS:
+        region = pattern_region(pattern, random.Random(seed), size)
+        result = scheduler.schedule(DDG(region), seed=context.scale.suite.seed)
+        orders.append(tuple(result.schedule.order))
+    construct = sum(
+        r["compute_seconds"] + r["memory_seconds"] + r["alloc_seconds"]
+        for r in sink.by_type("kernel_launch")
+    )
+    iterations = sum(r["iterations"] for r in sink.by_type("kernel_launch"))
+    return construct, iterations, orders
+
+
+def bench_backend(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Backend duel: vectorized vs. loop ant construction on Table-2-scale
+    regions — same decisions, different simulated kernels.
+
+    ``construct_speedup`` is the headline: cost-model seconds per
+    iteration of the loop backend's divergent serialized-lane kernel over
+    the vectorized backend's lockstep kernel (the paper's Section V
+    argument as a measurement; the acceptance floor is 3x).
+    """
+    vec_seconds, vec_iters, vec_orders = _construct_stats(context, "vectorized")
+    loop_seconds, loop_iters, loop_orders = _construct_stats(context, "loop")
+    vec_per_iter = vec_seconds / max(vec_iters, 1)
+    loop_per_iter = loop_seconds / max(loop_iters, 1)
+    return {
+        "duel_regions": metric(len(_BACKEND_DUEL_REGIONS), "regions"),
+        "iterations": metric(vec_iters, "iterations"),
+        "schedules_identical": metric(
+            1.0 if (vec_orders == loop_orders and vec_iters == loop_iters) else 0.0,
+            "bool",
+            "higher",
+        ),
+        "vectorized_construct_seconds_per_iteration": metric(
+            vec_per_iter, "s", "lower"
+        ),
+        "loop_construct_seconds_per_iteration": metric(loop_per_iter, "s"),
+        "construct_speedup": metric(
+            loop_per_iter / vec_per_iter if vec_per_iter > 0 else 0.0,
+            "x",
+            "higher",
+        ),
+    }
+
+
 def bench_profile(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
     """Profiler self-check plus kernel cost attribution rollups.
 
@@ -205,6 +280,7 @@ BENCHES: Dict[str, Callable[[ExperimentContext], Dict[str, Dict[str, object]]]] 
     "table3": bench_table3,
     "table5": bench_table5,
     "fig4": bench_fig4,
+    "backend": bench_backend,
     "profile": bench_profile,
 }
 

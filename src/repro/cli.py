@@ -14,6 +14,11 @@ renders the hierarchical span profile of the run's simulated time and
 flamegraph/speedscope tooling (see :mod:`repro.profile`). All of them
 leave results bit-identical: observability observes, it never steers.
 
+Backends: ``--backend loop|vectorized`` selects the parallel scheduler's
+ant-construction engine (sets ``REPRO_BACKEND``). Both engines produce
+bit-identical seeded schedules; they differ in which kernel the cost
+accounting simulates (see :mod:`repro.parallel.colony`).
+
 Verification: ``--verify`` turns on the scheduler sanitizer
 (:mod:`repro.analysis`) — every shipped schedule is independently
 rechecked, DDGs are linted, and the GPU simulation runs with checked SoA
@@ -89,6 +94,15 @@ def main(argv: List[str] = None) -> int:
         "(feed to flamegraph.pl or speedscope); implies --profile",
     )
     parser.add_argument(
+        "--backend",
+        choices=("loop", "vectorized"),
+        default=None,
+        help="ant-construction engine for the parallel scheduler: the "
+        "lockstep batch engine ('vectorized', default) or the scalar "
+        "per-ant reference engine with the divergent cost model ('loop'); "
+        "sets REPRO_BACKEND (see repro.parallel.colony)",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="run the scheduler sanitizer: independent verification of "
@@ -103,6 +117,11 @@ def main(argv: List[str] = None) -> int:
 
         os.environ["REPRO_VERIFY"] = "1"
         os.environ["REPRO_SANITIZE"] = "1"
+
+    if args.backend:
+        import os
+
+        os.environ["REPRO_BACKEND"] = args.backend
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

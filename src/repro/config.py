@@ -133,6 +133,12 @@ class GPUParams:
     #: Rotate guiding heuristics across wavefront groups.
     heuristic_diversity: bool = True
 
+    #: Ant-construction engine: ``"vectorized"`` (lockstep batch engine,
+    #: wave-max cost model) or ``"loop"`` (scalar per-ant reference engine,
+    #: serialized-lane cost model). Both produce bit-identical seeded
+    #: schedules; see repro.parallel.colony.BACKENDS.
+    backend: str = "vectorized"
+
     @property
     def wavefronts(self) -> int:
         """Total wavefronts per launch (one per block by construction)."""
@@ -152,6 +158,10 @@ class GPUParams:
             )
         if not 0.0 <= self.stall_wavefront_fraction <= 1.0:
             raise ConfigError("stall_wavefront_fraction must be in [0, 1]")
+        if self.backend not in ("loop", "vectorized"):
+            raise ConfigError(
+                "backend must be 'loop' or 'vectorized', got %r" % (self.backend,)
+            )
 
     def without_memory_opts(self) -> "GPUParams":
         """A copy with every Section V-A optimization disabled (Table 4.a baseline)."""

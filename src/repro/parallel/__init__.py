@@ -9,22 +9,37 @@ lockstep execution on the simulated device of :mod:`repro.gpusim`:
 * :mod:`~repro.parallel.divergence` — the Section V-B divergence policy
   (wavefront-level explore/exploit, stall-wavefront fraction, early
   wavefront termination, heuristic diversity), togglable for Table 4.b;
-* :mod:`~repro.parallel.colony` — the vectorized ant colony: every lane of
-  every wavefront constructs a schedule in lockstep while the kernel
-  accounting charges cycles under the device's divergence/coalescing rules;
+* :mod:`~repro.parallel.rng` — spawn-indexed per-ant RNG streams shared by
+  both construction backends, so their draw orders coincide per ant;
+* :mod:`~repro.parallel.vectorized` — the batch construction engine: every
+  lane of every wavefront advances in lockstep numpy operations while the
+  kernel accounting charges the optimized (wave-max) cost model;
+* :mod:`~repro.parallel.loop` — the scalar per-ant reference engine with
+  the divergent (serialized-lane) cost model, bit-identical in its
+  decisions to the vectorized engine;
+* :mod:`~repro.parallel.colony` — the backend registry
+  (``backend="loop"|"vectorized"``) and the historical ``Colony`` name;
 * :mod:`~repro.parallel.scheduler` — the two-pass driver mirroring
   :class:`~repro.aco.sequential.SequentialACOScheduler`.
 """
 
 from .layouts import RegionDeviceData
 from .divergence import DivergencePolicy
-from .colony import Colony, ColonyIterationResult
+from .rng import AntRngStreams
+from .vectorized import VectorizedColony
+from .loop import LoopColony
+from .colony import BACKENDS, Colony, ColonyIterationResult, resolve_backend
 from .scheduler import ParallelACOScheduler, ParallelACOResult, ParallelPassResult
 from .multi_region import BatchItem, BatchResult, MultiRegionScheduler
 
 __all__ = [
     "RegionDeviceData",
     "DivergencePolicy",
+    "AntRngStreams",
+    "VectorizedColony",
+    "LoopColony",
+    "BACKENDS",
+    "resolve_backend",
     "Colony",
     "ColonyIterationResult",
     "ParallelACOScheduler",

@@ -70,7 +70,7 @@ class DivergencePolicy:
         return (np.arange(self.num_wavefronts) % num_heuristics).astype(np.int32)
 
     def exploit_draw(self, rng: np.random.Generator, q0: float) -> np.ndarray:
-        """Per-ant exploit decisions for one step.
+        """Per-ant exploit decisions for one step (shared-generator form).
 
         Wavefront-level: one draw per wavefront broadcast to its lanes.
         Thread-level: an independent draw per lane (the divergent baseline).
@@ -79,3 +79,19 @@ class DivergencePolicy:
             per_wave = rng.random(self.num_wavefronts) < q0
             return np.repeat(per_wave, self.wavefront_size)
         return rng.random(self.num_ants) < q0
+
+    def exploit_draw_streams(self, streams, q0: float) -> np.ndarray:
+        """Per-ant exploit decisions drawn from per-ant RNG streams.
+
+        Wavefront-level: the wavefront leader's (lane 0) stream decides for
+        all its lanes. Thread-level: every ant draws from its own stream.
+        Unlike :meth:`exploit_draw`, the draw order is per-stream, so the
+        scalar and vectorized engines consume identical randomness (see
+        :mod:`repro.parallel.rng`).
+        """
+        if self.wavefront_level_choice:
+            per_wave = streams.uniform_wavefront_leaders(
+                self.num_wavefronts, self.wavefront_size
+            )
+            return np.repeat(per_wave < q0, self.wavefront_size)
+        return streams.uniform_ants() < q0

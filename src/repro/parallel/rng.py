@@ -1,0 +1,108 @@
+"""Spawn-indexed per-ant RNG streams.
+
+Both construction backends (:mod:`~repro.parallel.vectorized` and
+:mod:`~repro.parallel.loop`) must make *exactly* the same random decisions
+for a given seed, or the differential harness cannot demand bit-identical
+schedules. A single shared generator cannot provide that: the vectorized
+engine draws step-major (one batch across all ants per step) while a
+scalar engine naturally draws ant-major, so the two would interleave one
+stream differently.
+
+The fix is one independent stream per ant *slot*, spawned from the launch
+seed with :meth:`numpy.random.SeedSequence.spawn` semantics: ant ``i``
+always owns spawn child ``i``. Consequences, each pinned by a regression
+test:
+
+* ant ``i``'s draw sequence depends only on ``(seed, i)`` — never on how
+  many ants run beside it or how they are grouped into wavefronts;
+* a batch draw across the population equals the ant-by-ant scalar draws,
+  so backend equivalence holds by construction at the RNG layer and the
+  differential harness only has to prove the *state evolution* equal;
+* wavefront-level decisions (Section V-B) are drawn from the wavefront
+  leader's stream (lane 0), keeping them lockstep-uniform without a
+  second stream family.
+
+The per-step draw discipline shared by both backends:
+
+====== =====================================================================
+pass 1 exploit decision (leader stream per wavefront, or every ant's
+       stream at thread level), then one roulette draw per ant
+pass 2 one stall draw per ant (only on steps where any ant considers a
+       stall), then the pass-1 sequence
+====== =====================================================================
+
+Every ant draws on every step it is charged for — including exploiting
+ants' unused roulette draws and inactive lanes' draws — exactly like the
+paper's kernel, where a masked-off lane still executes the wavefront's
+RNG instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import ConfigError
+
+SeedLike = Union[int, np.random.Generator, "AntRngStreams"]
+
+
+class AntRngStreams:
+    """One independent ``numpy.random.Generator`` per ant slot.
+
+    ``seed`` may be an integer launch seed or an already-seeded
+    :class:`numpy.random.Generator` (its spawn children are used, which
+    for ``default_rng(s)`` equals spawning ``SeedSequence(s)`` directly).
+    """
+
+    def __init__(self, seed: SeedLike, num_ants: int):
+        if num_ants < 1:
+            raise ConfigError("need at least one ant stream")
+        if isinstance(seed, np.random.Generator):
+            root = seed
+        else:
+            root = np.random.default_rng(seed)
+        self.num_ants = num_ants
+        #: Stream ``i`` belongs to ant slot ``i`` (spawn-indexed: the first
+        #: ``k`` streams are identical for every population size >= k).
+        self.generators = tuple(root.spawn(num_ants))
+
+    @classmethod
+    def coerce(cls, rng: SeedLike, num_ants: int) -> "AntRngStreams":
+        """Wrap a seed or generator; pass an existing stream set through."""
+        if isinstance(rng, AntRngStreams):
+            if rng.num_ants != num_ants:
+                raise ConfigError(
+                    "stream set has %d ants, launch needs %d"
+                    % (rng.num_ants, num_ants)
+                )
+            return rng
+        return cls(rng, num_ants)
+
+    # -- draw primitives (the only ways the colonies consume randomness) ----
+
+    def uniform_ants(self) -> np.ndarray:
+        """One U[0,1) draw from every ant's stream, in ant-slot order."""
+        return np.array([g.random() for g in self.generators], dtype=np.float64)
+
+    def uniform_ant(self, ant: int) -> float:
+        """One U[0,1) draw from a single ant's stream (scalar engines)."""
+        return float(self.generators[ant].random())
+
+    def uniform_wavefront_leaders(
+        self, num_wavefronts: int, wavefront_size: int
+    ) -> np.ndarray:
+        """One draw per wavefront, taken from its lane-0 (leader) stream."""
+        if num_wavefronts * wavefront_size != self.num_ants:
+            raise ConfigError(
+                "wavefront geometry %dx%d does not cover %d ant streams"
+                % (num_wavefronts, wavefront_size, self.num_ants)
+            )
+        return np.array(
+            [
+                self.generators[w * wavefront_size].random()
+                for w in range(num_wavefronts)
+            ],
+            dtype=np.float64,
+        )

@@ -45,9 +45,18 @@ from ..rp.cost import rp_cost, rp_cost_lower_bound
 from ..rp.liveness import peak_pressure
 from ..schedule.schedule import Schedule
 from ..telemetry import OCCUPANCY_PCT_BUCKETS, Telemetry, get_telemetry
-from .colony import Colony
+from .colony import Colony, resolve_backend
 from .divergence import DivergencePolicy
 from .layouts import RegionDeviceData
+from .rng import AntRngStreams
+
+
+def backend_from_env() -> Optional[str]:
+    """The ``REPRO_BACKEND`` override, or ``None`` when unset/empty."""
+    import os
+
+    value = os.environ.get("REPRO_BACKEND", "").strip()
+    return value or None
 
 
 @dataclass
@@ -91,6 +100,7 @@ class ParallelACOScheduler:
         device: Optional[GPUDevice] = None,
         telemetry: Optional[Telemetry] = None,
         verify: Optional[bool] = None,
+        backend: Optional[str] = None,
     ):
         self.machine = machine
         self.params = params or ACOParams()
@@ -100,6 +110,9 @@ class ParallelACOScheduler:
         self.gpu_params.validate(self.device.wavefront_size)
         self._telemetry = telemetry
         self._verify = verify
+        self._backend = backend
+        if backend is not None:
+            resolve_backend(backend)  # fail fast on unknown names
 
     @property
     def telemetry(self) -> Telemetry:
@@ -110,6 +123,14 @@ class ParallelACOScheduler:
     def verify_enabled(self) -> bool:
         """Explicit ``verify`` argument, else ``REPRO_VERIFY`` (resolved late)."""
         return self._verify if self._verify is not None else verification_enabled()
+
+    @property
+    def backend(self) -> str:
+        """Engine selection: explicit argument, else ``REPRO_BACKEND``, else
+        ``gpu_params.backend`` (resolved late, like telemetry/verify)."""
+        if self._backend is not None:
+            return self._backend
+        return backend_from_env() or self.gpu_params.backend
 
     def _publish_launch(
         self,
@@ -141,6 +162,7 @@ class ParallelACOScheduler:
             "kernel_launch",
             region=region_name,
             pass_index=pass_index,
+            backend=colony.backend_name,
             wavefronts=accounting.num_wavefronts,
             ants=colony.num_ants,
             iterations=iterations,
@@ -202,17 +224,25 @@ class ParallelACOScheduler:
         launch overhead directly, kernel time split per cost category by
         cycle share (so region -> pass -> kernel/compute etc. nest under
         whatever span the caller — usually the pipeline's region span —
-        has open).
+        has open). Inside the kernel span, the ant-construction hot path
+        (compute/memory/alloc — the per-step work the backends execute
+        differently) is grouped under a ``construct`` span so profiles and
+        ``repro.bench``'s backend comparison can read it off directly;
+        wavefront-uniform overhead (reductions, pheromone, barriers) stays
+        a direct kernel leaf.
         """
         prof = get_profiler()
         if not prof.enabled:
             return
+        attributed = accounting.attributed_seconds()
         with prof.span("pass%d" % pass_index, "pass"):
             prof.charge_leaf("transfer", transfer_seconds, "transfer")
             prof.charge_leaf("launch", launch_seconds, "launch")
             with prof.span("kernel", "kernel"):
-                for category, seconds in accounting.attributed_seconds().items():
-                    prof.charge_leaf(category, seconds, "kernel")
+                with prof.span("construct", "kernel"):
+                    for category in ("compute", "memory", "alloc"):
+                        prof.charge_leaf(category, attributed[category], "kernel")
+                prof.charge_leaf("uniform", attributed["uniform"], "kernel")
 
     # -- shared plumbing -----------------------------------------------------
 
@@ -254,11 +284,14 @@ class ParallelACOScheduler:
             coalesced=self.gpu_params.soa_layout,
             dynamic_alloc=not self.gpu_params.soa_layout,
         )
-        rng = np.random.default_rng(seed)
+        rng = AntRngStreams(seed, policy.num_ants)
         # In verify mode, sanitize the colony too; otherwise leave resolution
         # to the colony itself (the REPRO_SANITIZE knob).
         sanitizer = ColonySanitizer() if self.verify_enabled else None
-        colony = Colony(data, self.params, policy, accounting, rng, sanitizer=sanitizer)
+        colony_cls = resolve_backend(self.backend)
+        colony = colony_cls(
+            data, self.params, policy, accounting, rng, sanitizer=sanitizer
+        )
         return colony, accounting
 
     # -- pass 1 ----------------------------------------------------------------

@@ -1,16 +1,40 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+The hypothesis strategies live in ``tests/strategies.py``; the re-exports
+at the bottom keep ``from conftest import ddgs`` working.
+"""
 
 from __future__ import annotations
 
-import random
-
 import pytest
-from hypothesis import strategies as st
 
 from repro.ddg import DDG
 from repro.ir.builder import RegionBuilder, figure1_region
 from repro.machine import amd_vega20, simple_test_target
-from repro.suite.patterns import PATTERN_NAMES, pattern_region
+from strategies import ddgs, make_region, medium_regions, regions  # noqa: F401
+
+__all__ = ["ddgs", "make_region", "medium_regions", "regions"]
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend-pairs",
+        action="store",
+        default="loop:vectorized",
+        help="comma-separated backend pairs the differential suite compares "
+        "for bit-identical schedules, each 'A:B' with A,B in {loop, "
+        "vectorized}; 'X:X' checks one backend against itself "
+        "(determinism), e.g. --backend-pairs vectorized:vectorized",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "backend_pair" in metafunc.fixturenames:
+        raw = metafunc.config.getoption("--backend-pairs")
+        pairs = [tuple(p.split(":", 1)) for p in raw.split(",") if p]
+        metafunc.parametrize(
+            "backend_pair", pairs, ids=["-vs-".join(p) for p in pairs]
+        )
 
 
 @pytest.fixture
@@ -54,23 +78,3 @@ def wide_region():
     b.inst("v_add", defs=["v5"], uses=["v2", "v3"])
     b.inst("v_add", defs=["v6"], uses=["v4", "v5"])
     return b.live_out("v6").build()
-
-
-def make_region(pattern: str, seed: int, size: int):
-    """Deterministic generated region (used by strategies and tests)."""
-    return pattern_region(pattern, random.Random(seed), size)
-
-
-@st.composite
-def regions(draw, min_size: int = 2, max_size: int = 40):
-    """Hypothesis strategy: a deterministic generated region."""
-    pattern = draw(st.sampled_from(PATTERN_NAMES))
-    seed = draw(st.integers(min_value=0, max_value=2**31))
-    size = draw(st.integers(min_value=min_size, max_value=max_size))
-    return make_region(pattern, seed, size)
-
-
-@st.composite
-def ddgs(draw, min_size: int = 2, max_size: int = 40):
-    """Hypothesis strategy: the DDG of a generated region."""
-    return DDG(draw(regions(min_size=min_size, max_size=max_size)))

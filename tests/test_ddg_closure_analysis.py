@@ -17,7 +17,7 @@ from repro.ir.registers import VGPR
 from repro.machine import amd_vega20
 from repro.rp import peak_pressure
 
-from conftest import ddgs
+from strategies import ddgs
 
 
 def _brute_force_reaches(ddg, src, dst):

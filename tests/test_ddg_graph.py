@@ -8,7 +8,7 @@ from repro.ddg.graph import DepKind
 from repro.errors import DDGError
 from repro.ir.builder import RegionBuilder
 
-from conftest import ddgs
+from strategies import ddgs
 
 
 def _labels(region, pairs):

@@ -16,7 +16,7 @@ from repro.parallel import ParallelACOScheduler
 from repro.rp import peak_pressure, rp_cost
 from repro.schedule import Schedule, validate_schedule
 
-from conftest import ddgs, make_region
+from strategies import ddgs, make_region
 
 
 class TestMinPressureOrder:

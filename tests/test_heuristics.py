@@ -21,7 +21,7 @@ from repro.machine import amd_vega20, simple_test_target
 from repro.rp import PressureTracker, peak_pressure
 from repro.schedule import validate_schedule
 
-from conftest import ddgs
+from strategies import ddgs
 
 
 class TestCriticalPathHeuristic:

@@ -9,7 +9,7 @@ from repro.ir.builder import RegionBuilder, figure1_region
 from repro.ir.instructions import Instruction, opcode
 from repro.ir.registers import SGPR, VGPR, sreg, vreg
 
-from conftest import regions
+from strategies import regions
 
 
 class TestSchedulingRegion:

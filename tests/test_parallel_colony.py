@@ -14,7 +14,7 @@ from repro.parallel import Colony, DivergencePolicy, ParallelACOScheduler, Regio
 from repro.rp import peak_pressure
 from repro.schedule import Schedule, validate_schedule
 
-from conftest import ddgs
+from strategies import ddgs
 
 
 def _make_colony(ddg, machine, blocks=2, seed=0, aco=None, **gpu_overrides):

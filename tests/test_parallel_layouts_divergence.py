@@ -9,7 +9,7 @@ from repro.ddg import DDG, TransitiveClosure
 from repro.machine import amd_vega20
 from repro.parallel import DivergencePolicy, RegionDeviceData
 
-from conftest import ddgs
+from strategies import ddgs
 
 
 class TestRegionDeviceData:

@@ -202,7 +202,9 @@ class TestEndToEnd:
         )
         assert {"kernel", "launch", "transfer"} <= set(a_pass.children)
         kernel = a_pass.children["kernel"]
-        assert {"compute", "memory"} <= set(kernel.children)
+        assert {"construct", "uniform"} <= set(kernel.children)
+        construct = kernel.children["construct"]
+        assert {"compute", "memory"} <= set(construct.children)
 
 
 class TestKernelRollup:

@@ -19,7 +19,7 @@ from repro.rp import (
 from repro.rp.cost import OCCUPANCY_WEIGHT
 from repro.schedule import Schedule
 
-from conftest import regions
+from strategies import regions
 
 
 class TestTrackerFigure1:
