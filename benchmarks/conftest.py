@@ -17,6 +17,15 @@ launches) as JSONL; summarize it afterwards with
 ``REPRO_PROFILE=/path/to/stacks.txt`` to span-profile the session's
 simulated time and write the collapsed-stack file (flamegraph.pl /
 speedscope input; the span tree is printed to stdout at session end).
+
+Set ``REPRO_CHAOS=<seed>`` to run the whole bench session under the
+deterministic fault model: the compile pipeline resolves the resilience
+parameters from the environment, so every region passes through the retry
+ladder, and the session prints the resilience summary (faults, retries,
+degrades) at the end. The benches must still complete — recovery is the
+point — but their numbers are *not* comparable to fault-free baselines
+(retries burn budget), so chaos sessions are for robustness checking, not
+regression gating.
 """
 
 from __future__ import annotations
@@ -44,7 +53,18 @@ def context():
 
     trace_path = os.environ.get("REPRO_TRACE")
     stacks_path = os.environ.get("REPRO_PROFILE")
+    chaos = os.environ.get("REPRO_CHAOS", "").strip()
     with ExitStack() as stack:
+        if chaos:
+            from repro.resilience.log import reset_resilience_log
+
+            resilience_log = reset_resilience_log()
+            print("\n[chaos] bench session under REPRO_CHAOS=%s" % chaos)
+
+            def _report() -> None:
+                print("\n[chaos] resilience summary: %s" % resilience_log.summary())
+
+            stack.callback(_report)
         telemetry = None
         if trace_path:
             telemetry = Telemetry(sink=JSONLSink(trace_path))

@@ -22,6 +22,7 @@ from ..analysis.sanitizer import verification_enabled
 from ..analysis.verifier import verify_aco_result, verify_order
 from ..config import ACOParams
 from ..ddg.graph import DDG
+from ..errors import ResilienceError
 from ..ddg.lower_bounds import RegionBounds, region_bounds
 from ..heuristics.base import GuidingHeuristic
 from ..heuristics.critical_path import CriticalPathHeuristic
@@ -29,6 +30,9 @@ from ..heuristics.list_scheduler import schedule_in_order
 from ..heuristics.luc import LastUseCountHeuristic
 from ..ir.registers import RegisterClass
 from ..machine.model import MachineModel
+from ..resilience.checkpoint import RegionCheckpoint
+from ..resilience.log import get_resilience_log
+from ..resilience.watchdog import DeadlineBudget
 from ..rp.cost import rp_cost, rp_cost_lower_bound
 from ..rp.liveness import peak_pressure
 from ..schedule.schedule import Schedule
@@ -56,10 +60,31 @@ class PassResult:
     #: derived from the telemetry layer's ``iteration`` events (see
     #: :meth:`repro.telemetry.PassScope.trace`).
     trace: Tuple[float, ...] = ()
+    #: True when the pass stopped early because the region's deadline
+    #: budget ran out (the best-so-far shipped as a partial result).
+    deadline_hit: bool = False
 
     @property
     def improved(self) -> bool:
         return self.final_cost < self.initial_cost
+
+
+def pass_result_from_payload(payload: Dict) -> PassResult:
+    """Rebuild a pass result from a checkpoint's embedded pass-1 payload
+    (written by :func:`repro.parallel.scheduler.pass_result_payload`).
+    Fields the CPU engine does not model — the GPU time breakdown — are
+    dropped; the reported seconds stay those of the attempt that actually
+    ran the pass."""
+    return PassResult(
+        invoked=bool(payload["invoked"]),
+        iterations=int(payload["iterations"]),
+        initial_cost=payload["initial_cost"],
+        final_cost=payload["final_cost"],
+        hit_lower_bound=bool(payload["hit_lower_bound"]),
+        seconds=float(payload["seconds"]),
+        trace=tuple(payload.get("trace", ())),
+        deadline_hit=bool(payload.get("deadline_hit", False)),
+    )
 
 
 @dataclass
@@ -128,6 +153,53 @@ class SequentialACOScheduler:
         m.counter("seq.stalls").inc(stats.stalls)
         m.counter("seq.optional_stalls").inc(stats.optional_stalls)
 
+    # -- resilience plumbing ---------------------------------------------------
+
+    def _resume_state(
+        self,
+        resume: RegionCheckpoint,
+        region_name: str,
+        pheromone: PheromoneTable,
+        tracker: TerminationTracker,
+    ) -> None:
+        """Restore checkpointed search state (always a *partial* resume).
+
+        The sequential engine shares one ``random.Random`` across both
+        passes, so a checkpoint from another engine cannot continue its
+        draw sequence — the learned state (pheromone, global best, tracker
+        counters) carries over, the remaining exploration draws fresh.
+        This is the cross-engine rung of the degradation ladder: a hung
+        parallel attempt hands its progress to the CPU engine.
+        """
+        if resume.region != region_name:
+            raise ResilienceError(
+                "checkpoint is for region %r, not %r" % (resume.region, region_name)
+            )
+        if resume.tau.shape != pheromone.tau.shape:
+            raise ResilienceError(
+                "checkpoint pheromone shape %s does not match region shape %s"
+                % (resume.tau.shape, pheromone.tau.shape)
+            )
+        pheromone.tau[:] = resume.tau
+        tracker.iterations = resume.iteration
+        tracker.iterations_without_improvement = resume.without_improvement
+        tracker.best_cost = resume.best_cost
+
+    def _trip_deadline(
+        self, tele: Telemetry, region_name: str, pass_index: int, budget: DeadlineBudget
+    ) -> None:
+        """Record a soft-deadline stop (event + metric + process-wide log)."""
+        get_resilience_log().deadline_trips += 1
+        tele.emit(
+            "deadline",
+            region=region_name,
+            pass_index=pass_index,
+            deadline_seconds=budget.deadline,
+            spent_seconds=budget.spent,
+        )
+        if tele.collect_metrics:
+            tele.metrics.counter("resilience.deadline_trips").inc()
+
     # -- pass 1 ---------------------------------------------------------------
 
     def _run_rp_pass(
@@ -136,6 +208,8 @@ class SequentialACOScheduler:
         bounds: RegionBounds,
         initial_order: Tuple[int, ...],
         rng: random.Random,
+        budget: Optional[DeadlineBudget] = None,
+        resume: Optional[RegionCheckpoint] = None,
     ) -> Tuple[Tuple[int, ...], Dict[RegisterClass, int], PassResult]:
         region = ddg.region
         lb_cost = rp_cost_lower_bound(bounds, self.machine)
@@ -172,7 +246,20 @@ class SequentialACOScheduler:
             stagnation_limit=self.params.termination_condition(len(region)),
             best_cost=best_cost,
         )
+        if resume is not None:
+            self._resume_state(resume, region.name, pheromone, tracker)
+            best_order = tuple(resume.best_order)
+            best_peak = dict(resume.best_peak)
+        deadline_hit = False
+        charged = 0.0
         while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
+            if budget is not None:
+                budget.charge(seconds - charged)
+                charged = seconds
+                if budget.exhausted:
+                    deadline_hit = True
+                    self._trip_deadline(tele, region.name, 1, budget)
+                    break
             winner: Optional[AntResult] = None
             construct_seconds = 0.0
             for _ant in range(self.params.sequential_ants):
@@ -203,6 +290,8 @@ class SequentialACOScheduler:
                     prof.charge_leaf("construct", construct_seconds, "construct")
                     prof.charge_leaf("pheromone", pheromone_seconds, "pheromone")
         prof.pop()
+        if budget is not None:
+            budget.charge(seconds - charged)
         pass_result = PassResult(
             invoked=True,
             iterations=tracker.iterations,
@@ -212,6 +301,7 @@ class SequentialACOScheduler:
             seconds=seconds,
             stats=stats,
             trace=scope.trace,
+            deadline_hit=deadline_hit,
         )
         scope.end(
             invoked=True,
@@ -233,6 +323,8 @@ class SequentialACOScheduler:
         best_peak: Dict[RegisterClass, int],
         rng: random.Random,
         reference_schedule: Optional[Schedule] = None,
+        budget: Optional[DeadlineBudget] = None,
+        resume: Optional[RegionCheckpoint] = None,
     ) -> Tuple[Schedule, PassResult]:
         region = ddg.region
         length_lb = bounds.length
@@ -280,8 +372,24 @@ class SequentialACOScheduler:
             stagnation_limit=self.params.termination_condition(len(region)),
             best_cost=best_length,
         )
+        # Length cap from the *pass-start* best (recomputed identically on
+        # resume — the checkpointed best must not tighten it).
         max_length = max(2 * best_length, best_length + 16)
+        if resume is not None:
+            self._resume_state(resume, region.name, pheromone, tracker)
+            if resume.best_cycles is not None:
+                best_schedule = Schedule(region, resume.best_cycles)
+                best_length = int(resume.best_cost)
+        deadline_hit = False
+        charged = 0.0
         while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
+            if budget is not None:
+                budget.charge(seconds - charged)
+                charged = seconds
+                if budget.exhausted:
+                    deadline_hit = True
+                    self._trip_deadline(tele, region.name, 2, budget)
+                    break
             winner: Optional[AntResult] = None
             construct_seconds = 0.0
             for _ant in range(self.params.sequential_ants):
@@ -333,6 +441,8 @@ class SequentialACOScheduler:
                     prof.charge_leaf("construct", construct_seconds, "construct")
                     prof.charge_leaf("pheromone", pheromone_seconds, "pheromone")
         prof.pop()
+        if budget is not None:
+            budget.charge(seconds - charged)
         pass_result = PassResult(
             invoked=True,
             iterations=tracker.iterations,
@@ -342,6 +452,7 @@ class SequentialACOScheduler:
             seconds=seconds,
             stats=stats,
             trace=scope.trace,
+            deadline_hit=deadline_hit,
         )
         scope.end(
             invoked=True,
@@ -362,6 +473,10 @@ class SequentialACOScheduler:
         initial_order: Optional[Tuple[int, ...]] = None,
         bounds: Optional[RegionBounds] = None,
         reference_schedule: Optional[Schedule] = None,
+        fault_plan=None,
+        budget: Optional[DeadlineBudget] = None,
+        attempt: int = 0,
+        resume: Optional[RegionCheckpoint] = None,
     ) -> ACOResult:
         """Run both passes on one region.
 
@@ -371,7 +486,15 @@ class SequentialACOScheduler:
         schedule — pass 2 starts from it whenever it satisfies the pressure
         target and beats the stretched pass-1 order. ``bounds`` may be
         precomputed and shared.
+
+        The resilience arguments mirror the parallel scheduler's so the
+        degradation ladder can swap engines freely: ``budget`` enforces the
+        region deadline, ``resume`` restores a checkpoint (partial —
+        see :meth:`_resume_state`). ``fault_plan`` and ``attempt`` are
+        accepted for signature parity; the CPU engine has no device
+        hazards, which is exactly why it is the ladder's safe rung.
         """
+        del fault_plan, attempt  # no device, no fault sites
         if bounds is None:
             bounds = region_bounds(ddg)
         if initial_order is None:
@@ -380,11 +503,25 @@ class SequentialACOScheduler:
             initial_order = order_schedule(ddg, heuristic=self.rp_heuristic).order
         rng = random.Random(seed)
 
-        best_order, best_peak, pass1 = self._run_rp_pass(
-            ddg, bounds, tuple(initial_order), rng
-        )
+        if resume is not None and resume.region != ddg.region.name:
+            raise ResilienceError(
+                "checkpoint is for region %r, not %r"
+                % (resume.region, ddg.region.name)
+            )
+        resume1 = resume if resume is not None and resume.pass_index == 1 else None
+        resume2 = resume if resume is not None and resume.pass_index == 2 else None
+        if resume2 is not None and resume2.pass1 is not None:
+            pass1 = pass_result_from_payload(resume2.pass1)
+            best_order = tuple(resume2.best_order)
+            best_peak = dict(resume2.best_peak)
+        else:
+            resume2 = None
+            best_order, best_peak, pass1 = self._run_rp_pass(
+                ddg, bounds, tuple(initial_order), rng, budget=budget, resume=resume1
+            )
         schedule, pass2 = self._run_ilp_pass(
-            ddg, bounds, best_order, best_peak, rng, reference_schedule
+            ddg, bounds, best_order, best_peak, rng, reference_schedule,
+            budget=budget, resume=resume2,
         )
         final_peak = peak_pressure(schedule)
         result = ACOResult(

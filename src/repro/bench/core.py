@@ -234,6 +234,44 @@ def bench_backend(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
     }
 
 
+def bench_resilience(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Resilience: chaos-sweep recovery rate and retry overhead.
+
+    Runs the chaos harness's pinned mixed-rate sweep on its own small
+    region set (independent of the shared compile runs — fault handling,
+    not search quality). Deterministic like everything else here: the
+    same seeds inject the same faults, so ``recovery_rate_pct`` dropping
+    below baseline means a recovery path broke.
+    """
+    from ..resilience.chaos import chaos_sweep
+
+    # Doubled fault rates vs. the default chaos profile: the bench wants a
+    # dense, still-deterministic fault sample, not a realistic one.
+    report = chaos_sweep(
+        seeds=(11, 23, 37),
+        sizes=(10, 12),
+        rates={"launch": 0.25, "corruption": 0.25, "hang": 0.25, "oom": 0.15},
+    )
+    faulted = report.faulted_trials
+    return {
+        "trials": metric(len(report.trials), "regions"),
+        "faulted_trials": metric(len(faulted), "regions"),
+        "faults_injected": metric(
+            sum(report.faults_by_class.values()), "faults"
+        ),
+        "recovery_rate_pct": metric(
+            100.0 * report.recovery_rate, "pct", "higher"
+        ),
+        "degraded_regions": metric(report.degraded, "regions", "lower"),
+        "retry_overhead_seconds": metric(
+            report.retry_overhead_seconds, "s", "lower"
+        ),
+        "schedules_valid": metric(
+            1.0 if report.all_valid else 0.0, "bool", "higher"
+        ),
+    }
+
+
 def bench_profile(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
     """Profiler self-check plus kernel cost attribution rollups.
 
@@ -281,6 +319,7 @@ BENCHES: Dict[str, Callable[[ExperimentContext], Dict[str, Dict[str, object]]]] 
     "table5": bench_table5,
     "fig4": bench_fig4,
     "backend": bench_backend,
+    "resilience": bench_resilience,
     "profile": bench_profile,
 }
 

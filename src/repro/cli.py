@@ -23,6 +23,12 @@ Verification: ``--verify`` turns on the scheduler sanitizer
 (:mod:`repro.analysis`) — every shipped schedule is independently
 rechecked, DDGs are linted, and the GPU simulation runs with checked SoA
 accessors. Results stay bit-identical; the run only gets slower.
+
+Resilience: ``--deadline SECONDS`` caps each region's scheduling budget,
+``--chaos SEED`` injects deterministic GPU faults, and ``--max-retries N``
+sizes the retry ladder (see :mod:`repro.resilience`). Exit codes encode
+the outcome: 0 with a warning summary when every region shipped (even
+degraded to the heuristic), 3 when any region was unrecoverable.
 """
 
 from __future__ import annotations
@@ -103,6 +109,41 @@ def main(argv: List[str] = None) -> int:
         "sets REPRO_BACKEND (see repro.parallel.colony)",
     )
     parser.add_argument(
+        "--deadline",
+        metavar="SECONDS",
+        type=float,
+        default=None,
+        help="per-region scheduling deadline in cost-model seconds; both "
+        "ACO passes and every retry share the budget, and a region that "
+        "runs out ships its best-so-far schedule (sets REPRO_DEADLINE; "
+        "see repro.resilience)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        metavar="N",
+        type=int,
+        default=None,
+        help="retries per resilience-ladder rung before degrading to the "
+        "next engine (sets REPRO_MAX_RETRIES; only meaningful with "
+        "--deadline or --chaos)",
+    )
+    parser.add_argument(
+        "--chaos",
+        metavar="SEED",
+        type=int,
+        default=None,
+        help="inject deterministic GPU faults (launch failures, transfer "
+        "corruption, hangs, OOM) driven by SEED and recover via the retry "
+        "ladder (sets REPRO_CHAOS; see repro.resilience)",
+    )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="forbid the resilience ladder's engine downgrade: a region "
+        "whose retries are exhausted is reported unrecoverable (exit 3) "
+        "instead of shipping its heuristic schedule (sets REPRO_DEGRADE=0)",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="run the scheduler sanitizer: independent verification of "
@@ -122,6 +163,23 @@ def main(argv: List[str] = None) -> int:
         import os
 
         os.environ["REPRO_BACKEND"] = args.backend
+
+    if (
+        args.deadline is not None
+        or args.max_retries is not None
+        or args.chaos is not None
+        or args.no_degrade
+    ):
+        import os
+
+        if args.deadline is not None:
+            os.environ["REPRO_DEADLINE"] = repr(args.deadline)
+        if args.max_retries is not None:
+            os.environ["REPRO_MAX_RETRIES"] = str(args.max_retries)
+        if args.chaos is not None:
+            os.environ["REPRO_CHAOS"] = str(args.chaos)
+        if args.no_degrade:
+            os.environ["REPRO_DEGRADE"] = "0"
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
@@ -163,6 +221,10 @@ def main(argv: List[str] = None) -> int:
         profiler = SpanProfiler()
         stack.enter_context(profile_session(profiler))
 
+    from .resilience.log import reset_resilience_log
+
+    resilience_log = reset_resilience_log()
+
     with stack:
         for name in names:
             started = time.time()
@@ -195,6 +257,13 @@ def main(argv: List[str] = None) -> int:
         if args.profile_stacks:
             write_collapsed(args.profile_stacks, profiler.root)
             print("[collapsed stacks written to %s]" % args.profile_stacks)
+
+    if resilience_log.eventful:
+        # Degraded-but-shipped compiles warn and exit 0 (every region got
+        # a correct schedule); an unrecoverable region is a real failure.
+        print("[resilience] %s" % resilience_log.summary(), file=sys.stderr)
+        if resilience_log.unrecoverable_regions:
+            return 3
     return 0
 
 

@@ -14,7 +14,7 @@ The defaults reproduce the settings reported in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from .errors import ConfigError
 
@@ -212,6 +212,78 @@ class FilterParams:
 
 
 @dataclass(frozen=True)
+class ResilienceParams:
+    """Fault handling: deadlines, retry ladder, checkpoints, chaos.
+
+    All defaults are inert — no deadline, no chaos seed — and an inert
+    configuration leaves every code path bit-identical to a build without
+    the resilience layer (the pipeline only wraps a region in the retry
+    ladder when :attr:`active` is true). ``enabled`` forces the ladder on
+    or off regardless of the other knobs; leave it None for the natural
+    rule "active iff a deadline or a chaos seed is set".
+    """
+
+    #: Per-region scheduling deadline in cost-model seconds (both ACO
+    #: passes and every retry share one budget); None = unlimited.
+    deadline_seconds: Optional[float] = None
+    #: Retries per ladder rung before degrading to the next rung.
+    max_retries: int = 2
+    #: Permit backend downgrade (vectorized -> loop -> sequential ->
+    #: heuristic). With False, a region whose retries are exhausted is
+    #: recorded as unrecoverable instead of silently falling back.
+    degrade: bool = True
+    #: Resume retried passes from the fault checkpoint when one exists
+    #: (hangs), instead of restarting the search.
+    checkpoint: bool = True
+    #: Chaos seed driving the deterministic fault model; None = no faults.
+    chaos_seed: Optional[int] = None
+    #: Force the retry ladder on/off; None = active iff deadline or chaos.
+    enabled: Optional[bool] = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the pipeline should route regions through the ladder."""
+        if self.enabled is not None:
+            return bool(self.enabled)
+        return self.deadline_seconds is not None or self.chaos_seed is not None
+
+    def validate(self) -> None:
+        if self.deadline_seconds is not None and not float(self.deadline_seconds) > 0.0:
+            raise ConfigError("deadline_seconds must be positive (or None)")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.chaos_seed is not None:
+            int(self.chaos_seed)
+
+    @classmethod
+    def from_env(cls) -> "ResilienceParams":
+        """Parameters from ``REPRO_DEADLINE`` / ``REPRO_MAX_RETRIES`` /
+        ``REPRO_CHAOS`` / ``REPRO_DEGRADE`` (each optional; unset keeps
+        the inert defaults)."""
+        import os
+
+        def _get(name):
+            value = os.environ.get(name, "").strip()
+            return value or None
+
+        deadline = _get("REPRO_DEADLINE")
+        retries = _get("REPRO_MAX_RETRIES")
+        chaos = _get("REPRO_CHAOS")
+        degrade = _get("REPRO_DEGRADE")
+        try:
+            return cls(
+                deadline_seconds=float(deadline) if deadline else None,
+                max_retries=int(retries) if retries else cls.max_retries,
+                chaos_seed=int(chaos) if chaos else None,
+                degrade=degrade not in ("0", "false", "no") if degrade else cls.degrade,
+            )
+        except ValueError as exc:
+            raise ConfigError(
+                "bad resilience environment override: %s" % exc
+            ) from None
+
+
+@dataclass(frozen=True)
 class SuiteParams:
     """Shape of the synthetic rocPRIM-like benchmark suite (Table 1)."""
 
@@ -240,12 +312,14 @@ class ReproConfig:
     gpu: GPUParams = field(default_factory=GPUParams)
     filters: FilterParams = field(default_factory=FilterParams)
     suite: SuiteParams = field(default_factory=SuiteParams)
+    resilience: ResilienceParams = field(default_factory=ResilienceParams)
 
     def validate(self, wavefront_size: int = 64) -> None:
         self.aco.validate()
         self.gpu.validate(wavefront_size)
         self.filters.validate()
         self.suite.validate()
+        self.resilience.validate()
 
 
 def geometric_mean(values: Sequence[float]) -> float:

@@ -76,3 +76,86 @@ class VerificationError(AnalysisError):
 
 class SanitizerError(AnalysisError):
     """The gpusim sanitizer caught a memory/uniformity invariant violation."""
+
+
+class ResilienceError(ReproError):
+    """Base class of the fault/recovery layer (repro.resilience).
+
+    Everything under here is *survivable by design*: the compile pipeline's
+    retry ladder catches ``ResilienceError`` (and only it) around a region,
+    retries with a rotated seed or a downgraded backend, and falls back to
+    the heuristic schedule rather than failing the compile.
+    """
+
+
+class InjectedFault(ResilienceError):
+    """An injected (simulated) GPU fault.
+
+    ``fault_class`` names the fault taxonomy entry (see
+    :class:`repro.gpusim.faults.FaultClass`); ``seconds`` is the modelled
+    time the failed attempt burned before the fault surfaced, which the
+    retry ladder charges against the region's deadline budget.
+    """
+
+    fault_class = "fault"
+
+    def __init__(self, message: str, seconds: float = 0.0, checkpoint=None):
+        self.seconds = float(seconds)
+        self.checkpoint = checkpoint
+        super().__init__(message)
+
+
+class KernelLaunchError(InjectedFault):
+    """The scheduling kernel's launch returned an error (bad cooperative
+    launch, driver hiccup): nothing ran, only the launch overhead is lost."""
+
+    fault_class = "launch"
+
+
+class DeviceOOMError(InjectedFault):
+    """The Section V-A preallocation of per-ant device state failed: the
+    device-side allocation limit rejected the request before any launch."""
+
+    fault_class = "oom"
+
+
+class CorruptionDetected(InjectedFault):
+    """The copy-back integrity check found a corrupted transfer.
+
+    The host<->device copies carry a checksum; a corrupted region image or
+    result buffer fails the compare at copy-back, so a corrupted search is
+    detected *before* its schedule can ship — never silently wrong. The
+    attempt's state is untrusted, so no checkpoint accompanies this fault.
+    """
+
+    fault_class = "corruption"
+
+
+class DeviceHangError(InjectedFault):
+    """The watchdog declared the kernel hung (no heartbeat within budget).
+
+    The host-side colony state at the last completed iteration survives in
+    ``checkpoint`` (pheromone table, global best, RNG streams), so a retry
+    resumes mid-search instead of restarting.
+    """
+
+    fault_class = "hang"
+
+
+class DeadlineExceeded(ResilienceError):
+    """A region's deadline budget ran out before an attempt could start."""
+
+
+class RegionUnrecoverable(ResilienceError):
+    """The retry ladder exhausted every permitted rung for a region.
+
+    Carries ``causes`` — one entry per failed attempt — so the caller can
+    report what was tried. The pipeline still ships the heuristic schedule
+    (a region never takes the compile down), but records the region as an
+    error; the CLI maps any unrecoverable region to a nonzero exit.
+    """
+
+    def __init__(self, message: str, causes=(), spent_seconds: float = 0.0):
+        self.causes = tuple(causes)
+        self.spent_seconds = float(spent_seconds)
+        super().__init__(message)

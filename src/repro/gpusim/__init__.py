@@ -21,7 +21,26 @@ memory-coalescing rules:
 """
 
 from .device import GPUDevice
+from .faults import (
+    DEFAULT_CHAOS_RATES,
+    FAULT_CLASSES,
+    FaultPlan,
+    FaultyDevice,
+    chaos_seed_from_env,
+    fault_plan_from_env,
+)
 from .kernel import KernelAccounting, TransferAccounting
 from .reduction import reduction_cycles
 
-__all__ = ["GPUDevice", "KernelAccounting", "TransferAccounting", "reduction_cycles"]
+__all__ = [
+    "DEFAULT_CHAOS_RATES",
+    "FAULT_CLASSES",
+    "FaultPlan",
+    "FaultyDevice",
+    "GPUDevice",
+    "KernelAccounting",
+    "TransferAccounting",
+    "chaos_seed_from_env",
+    "fault_plan_from_env",
+    "reduction_cycles",
+]

@@ -24,17 +24,24 @@ eighth of the colony, which can cost schedule quality on hard regions. The
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
-from ..config import ACOParams, GPUParams, replace_params
+from ..config import ACOParams, GPUParams, ResilienceParams, replace_params
 from ..ddg.graph import DDG
-from ..errors import GPUSimError
+from ..errors import GPUSimError, InjectedFault, RegionUnrecoverable
 from ..gpusim.device import GPUDevice
+from ..gpusim.faults import FaultPlan
 from ..machine.model import MachineModel
 from ..profile import get_profiler
+from ..resilience.log import get_resilience_log
 from ..schedule.schedule import Schedule
 from ..telemetry import Telemetry, get_telemetry
+from ..aco.sequential import ACOResult
 from .scheduler import ParallelACOResult, ParallelACOScheduler
+
+#: A batch slot's result: GPU-scheduled normally; a region rescued by the
+#: resilience ladder's ``sequential`` rung carries a CPU :class:`ACOResult`.
+RegionResult = Union[ParallelACOResult, ACOResult]
 
 
 @dataclass
@@ -49,9 +56,18 @@ class BatchItem:
 
 @dataclass
 class BatchResult:
-    """Outcome of one batched launch."""
+    """Outcome of one batched launch.
 
-    results: Tuple[ParallelACOResult, ...]
+    A failed region does not take the batch down: its slot in ``results``
+    is None and ``errors`` carries the per-region failure description
+    (aligned index-for-index with the batch items). Fault-free batches
+    keep the historical shape — every slot a result, ``errors`` all None.
+    A slot rescued by the resilience ladder's CPU rung holds a sequential
+    :class:`~repro.aco.sequential.ACOResult`; its time counts as host-side
+    work serial with the batch.
+    """
+
+    results: Tuple[Optional[RegionResult], ...]
     #: Wavefronts assigned to each region.
     blocks_per_region: Tuple[int, ...]
     #: Modelled GPU seconds for the whole batch (shared launch + transfer +
@@ -60,10 +76,21 @@ class BatchResult:
     #: What the same regions would cost as individual launches (the paper's
     #: current design) — the amortization baseline.
     unbatched_seconds: float
+    #: Per-region error description, or None where the region scheduled.
+    errors: Tuple[Optional[str], ...] = ()
 
     @property
     def amortization_speedup(self) -> float:
         return self.unbatched_seconds / self.seconds if self.seconds > 0 else 1.0
+
+    @property
+    def failed_regions(self) -> int:
+        return sum(1 for r in self.results if r is None)
+
+    @property
+    def scheduled(self) -> Tuple[RegionResult, ...]:
+        """The successful results only (order preserved)."""
+        return tuple(r for r in self.results if r is not None)
 
 
 class MultiRegionScheduler:
@@ -115,21 +142,75 @@ class MultiRegionScheduler:
             blocks[candidates[-1]] -= 1
         return blocks
 
-    def _region_result(self, item: BatchItem, blocks: int) -> ParallelACOResult:
+    def _region_scheduler(self, blocks: int) -> ParallelACOScheduler:
         gpu = replace_params(self.gpu_params, blocks=blocks)
-        scheduler = ParallelACOScheduler(
+        return ParallelACOScheduler(
             self.machine,
             params=self.params,
             gpu_params=gpu,
             device=self.device,
             telemetry=self._telemetry,
         )
-        return scheduler.schedule(
-            item.ddg,
-            seed=item.seed,
-            initial_order=item.initial_order,
-            reference_schedule=item.reference_schedule,
-        )
+
+    def _region_result(
+        self,
+        item: BatchItem,
+        blocks: int,
+        fault_plan: Optional[FaultPlan] = None,
+        resilience: Optional[ResilienceParams] = None,
+    ) -> Tuple[Optional[RegionResult], Optional[str]]:
+        """Schedule one batch slot; returns ``(result, error)``.
+
+        With ``resilience`` active the slot runs the full retry ladder
+        (its own blocks partition, shared fault plan); with only a
+        ``fault_plan`` a single attempt is made and an injected fault
+        becomes the slot's error instead of aborting the batch.
+        """
+        scheduler = self._region_scheduler(blocks)
+        region_name = item.ddg.region.name
+        if resilience is not None and resilience.active:
+            from ..resilience.ladder import schedule_with_resilience
+
+            try:
+                outcome = schedule_with_resilience(
+                    scheduler,
+                    item.ddg,
+                    item.seed,
+                    resilience,
+                    initial_order=item.initial_order,
+                    reference_schedule=item.reference_schedule,
+                    telemetry=self.telemetry,
+                    fault_plan=fault_plan,
+                )
+            except RegionUnrecoverable as exc:
+                return None, "unrecoverable: %s" % exc
+            if outcome.result is None:
+                return None, "degraded: ladder shipped no ACO schedule"
+            return outcome.result, None
+        try:
+            return (
+                scheduler.schedule(
+                    item.ddg,
+                    seed=item.seed,
+                    initial_order=item.initial_order,
+                    reference_schedule=item.reference_schedule,
+                    fault_plan=fault_plan,
+                ),
+                None,
+            )
+        except InjectedFault as exc:
+            get_resilience_log().record_fault(exc.fault_class)
+            tele = self.telemetry
+            tele.emit(
+                "fault",
+                region=region_name,
+                fault_class=exc.fault_class,
+                attempt=0,
+                seconds=exc.seconds,
+            )
+            if tele.collect_metrics:
+                tele.metrics.counter("resilience.faults." + exc.fault_class).inc()
+            return None, "%s: %s" % (exc.fault_class, exc)
 
     @staticmethod
     def _kernel_and_transfer(result: ParallelACOResult) -> Tuple[float, float, int]:
@@ -144,8 +225,20 @@ class MultiRegionScheduler:
                 passes += 1
         return kernel, transfer, passes
 
-    def schedule_batch(self, items: Sequence[BatchItem]) -> BatchResult:
-        """Schedule all ``items`` as one batched launch (per invoked pass)."""
+    def schedule_batch(
+        self,
+        items: Sequence[BatchItem],
+        fault_plan: Optional[FaultPlan] = None,
+        resilience: Optional[ResilienceParams] = None,
+    ) -> BatchResult:
+        """Schedule all ``items`` as one batched launch (per invoked pass).
+
+        A region that faults (chaos mode) no longer aborts the batch: the
+        other regions still schedule, the failed slot reports its error,
+        and the batch's time accounting covers the work that ran. Pass
+        ``resilience`` to give each slot the full retry ladder instead of
+        a single attempt.
+        """
         if not items:
             raise GPUSimError("empty batch")
         blocks = self._partition_blocks(items)
@@ -156,10 +249,15 @@ class MultiRegionScheduler:
             blocks_per_region=list(blocks),
         )
         prof = get_profiler()
+        results: List[Optional[RegionResult]] = []
+        errors: List[Optional[str]] = []
         with prof.span("batch", "batch"):
-            results = [
-                self._region_result(item, b) for item, b in zip(items, blocks)
-            ]
+            for item, b in zip(items, blocks):
+                result, error = self._region_result(
+                    item, b, fault_plan=fault_plan, resilience=resilience
+                )
+                results.append(result)
+                errors.append(error)
 
         cost = self.device.cost
         launch = cost.launch_overhead
@@ -170,8 +268,17 @@ class MultiRegionScheduler:
         max_kernel = 0.0
         total_transfer = 0.0
         unbatched = 0.0
+        host_seconds = 0.0
         any_invoked = 0
         for result in results:
+            if result is None:
+                continue
+            if not isinstance(result, ParallelACOResult):
+                # A CPU rescue (resilience ladder's sequential rung): no
+                # device work to batch; its time is serial host time.
+                host_seconds += result.seconds
+                unbatched += result.seconds
+                continue
             kernel, transfer, passes = self._kernel_and_transfer(result)
             total_kernel += kernel
             max_kernel = max(max_kernel, kernel)
@@ -180,7 +287,13 @@ class MultiRegionScheduler:
             any_invoked += passes
 
         if any_invoked == 0:
-            batch = BatchResult(tuple(results), tuple(blocks), 0.0, 0.0)
+            batch = BatchResult(
+                tuple(results),
+                tuple(blocks),
+                host_seconds,
+                unbatched,
+                errors=tuple(errors),
+            )
             self._publish_batch(tele, batch)
             return batch
 
@@ -200,6 +313,7 @@ class MultiRegionScheduler:
             blocks_per_region=tuple(blocks),
             seconds=batch_seconds,
             unbatched_seconds=unbatched,
+            errors=tuple(errors),
         )
         self._publish_batch(tele, batch)
         return batch
@@ -214,6 +328,7 @@ class MultiRegionScheduler:
             seconds=batch.seconds,
             unbatched_seconds=batch.unbatched_seconds,
             amortization_speedup=batch.amortization_speedup,
+            failed_regions=batch.failed_regions,
         )
         if tele.collect_metrics:
             m = tele.metrics

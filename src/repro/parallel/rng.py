@@ -80,6 +80,28 @@ class AntRngStreams:
             return rng
         return cls(rng, num_ants)
 
+    # -- state capture (checkpointed recovery) ------------------------------
+
+    def state(self) -> list:
+        """Every stream's bit-generator state, in ant-slot order.
+
+        The returned structure is JSON-serializable (PCG64 state is a dict
+        of ints), so a checkpoint can round-trip it losslessly; restoring
+        it with :meth:`restore` continues each ant's draw sequence exactly
+        where it stopped.
+        """
+        return [g.bit_generator.state for g in self.generators]
+
+    def restore(self, states: list) -> None:
+        """Restore a :meth:`state` capture into this stream set."""
+        if len(states) != self.num_ants:
+            raise ConfigError(
+                "checkpoint has %d ant streams, launch needs %d"
+                % (len(states), self.num_ants)
+            )
+        for generator, state in zip(self.generators, states):
+            generator.bit_generator.state = state
+
     # -- draw primitives (the only ways the colonies consume randomness) ----
 
     def uniform_ants(self) -> np.ndarray:

@@ -34,13 +34,18 @@ from ..aco.termination import TerminationTracker
 from ..config import ACOParams, GPUParams
 from ..ddg.graph import DDG
 from ..ddg.lower_bounds import RegionBounds, region_bounds
+from ..errors import CorruptionDetected, DeviceHangError, KernelLaunchError, ResilienceError
 from ..gpusim.device import GPUDevice
+from ..gpusim.faults import FaultPlan, FaultyDevice
 from ..gpusim.kernel import KernelAccounting, TransferAccounting
 from ..gpusim.reduction import reduction_cycles
 from ..heuristics.list_scheduler import schedule_in_order
 from ..ir.registers import RegisterClass
 from ..machine.model import MachineModel
 from ..profile import get_profiler
+from ..resilience.checkpoint import RegionCheckpoint
+from ..resilience.log import get_resilience_log
+from ..resilience.watchdog import DeadlineBudget
 from ..rp.cost import rp_cost, rp_cost_lower_bound
 from ..rp.liveness import peak_pressure
 from ..schedule.schedule import Schedule
@@ -66,6 +71,49 @@ class ParallelPassResult(PassResult):
     transfer_seconds: float = 0.0
     kernel_seconds: float = 0.0
     launch_seconds: float = 0.0
+
+
+def pass_result_payload(result: PassResult) -> Dict:
+    """JSON-serializable dict of a completed pass result.
+
+    A pass-2 checkpoint embeds the *finished* pass-1 result this way, so a
+    resume skips pass 1 entirely and still reports it faithfully. Covers
+    the common :class:`~repro.aco.sequential.PassResult` fields plus the
+    parallel time breakdown when present (construction stats are dropped —
+    they are observability, not search state).
+    """
+    payload = {
+        "invoked": result.invoked,
+        "iterations": result.iterations,
+        "initial_cost": result.initial_cost,
+        "final_cost": result.final_cost,
+        "hit_lower_bound": result.hit_lower_bound,
+        "seconds": result.seconds,
+        "trace": list(result.trace),
+        "deadline_hit": result.deadline_hit,
+    }
+    if isinstance(result, ParallelPassResult):
+        payload["transfer_seconds"] = result.transfer_seconds
+        payload["kernel_seconds"] = result.kernel_seconds
+        payload["launch_seconds"] = result.launch_seconds
+    return payload
+
+
+def pass_result_from_payload(payload: Dict) -> ParallelPassResult:
+    """Rebuild a pass result from :func:`pass_result_payload`."""
+    return ParallelPassResult(
+        invoked=bool(payload["invoked"]),
+        iterations=int(payload["iterations"]),
+        initial_cost=payload["initial_cost"],
+        final_cost=payload["final_cost"],
+        hit_lower_bound=bool(payload["hit_lower_bound"]),
+        seconds=float(payload["seconds"]),
+        trace=tuple(payload.get("trace", ())),
+        deadline_hit=bool(payload.get("deadline_hit", False)),
+        transfer_seconds=float(payload.get("transfer_seconds", 0.0)),
+        kernel_seconds=float(payload.get("kernel_seconds", 0.0)),
+        launch_seconds=float(payload.get("launch_seconds", 0.0)),
+    )
 
 
 @dataclass
@@ -294,6 +342,165 @@ class ParallelACOScheduler:
         )
         return colony, accounting
 
+    # -- resilience plumbing -------------------------------------------------
+
+    def _check_launch(
+        self,
+        faulty: Optional[FaultyDevice],
+        region_name: str,
+        pass_index: int,
+        attempt: int,
+        budget: Optional[DeadlineBudget],
+    ) -> None:
+        """Simulated launch API call; a failed launch still burns its
+        fixed overhead, charged to the budget before the raise."""
+        if faulty is None:
+            return
+        try:
+            faulty.check_launch(region_name, pass_index, attempt)
+        except KernelLaunchError:
+            if budget is not None:
+                budget.charge(self.device.cost.launch_overhead)
+            raise
+
+    def _resume_state(
+        self,
+        resume: RegionCheckpoint,
+        region_name: str,
+        pheromone: PheromoneTable,
+        tracker: TerminationTracker,
+        colony: Colony,
+    ) -> None:
+        """Restore checkpointed search state into a freshly built pass.
+
+        Pheromone and tracker counters always carry over; the per-ant RNG
+        streams continue draw-for-draw only when the population matches
+        (:meth:`RegionCheckpoint.exact_rng_resume`) — otherwise the resumed
+        attempt keeps the learned state but re-explores with fresh streams.
+        """
+        if resume.region != region_name:
+            raise ResilienceError(
+                "checkpoint is for region %r, not %r" % (resume.region, region_name)
+            )
+        if resume.tau.shape != pheromone.tau.shape:
+            raise ResilienceError(
+                "checkpoint pheromone shape %s does not match region shape %s"
+                % (resume.tau.shape, pheromone.tau.shape)
+            )
+        pheromone.tau[:] = resume.tau
+        tracker.iterations = resume.iteration
+        tracker.iterations_without_improvement = resume.without_improvement
+        tracker.best_cost = resume.best_cost
+        if resume.exact_rng_resume(colony.num_ants):
+            colony.streams.restore(resume.rng_state)
+
+    def _trip_deadline(
+        self, tele: Telemetry, region_name: str, pass_index: int, budget: DeadlineBudget
+    ) -> None:
+        """Record a soft-deadline stop (event + metric + process-wide log)."""
+        get_resilience_log().deadline_trips += 1
+        tele.emit(
+            "deadline",
+            region=region_name,
+            pass_index=pass_index,
+            deadline_seconds=budget.deadline,
+            spent_seconds=budget.spent,
+        )
+        if tele.collect_metrics:
+            tele.metrics.counter("resilience.deadline_trips").inc()
+
+    def _hang(
+        self,
+        faulty: FaultyDevice,
+        budget: Optional[DeadlineBudget],
+        checkpoint: RegionCheckpoint,
+        accounting: KernelAccounting,
+        transfer: TransferAccounting,
+        attempt: int,
+    ) -> DeviceHangError:
+        """Build the watchdog's hang error: charge the heartbeat timeout,
+        report everything the dead attempt burned, attach the checkpoint."""
+        penalty = faulty.plan.hang_seconds
+        if budget is not None:
+            budget.charge(penalty)
+        burned = (
+            accounting.kernel_seconds()
+            + transfer.seconds()
+            + self.device.cost.launch_overhead
+            + penalty
+        )
+        return DeviceHangError(
+            "watchdog: injected hang in region %r pass %d attempt %d at iteration %d"
+            % (
+                checkpoint.region,
+                checkpoint.pass_index,
+                attempt,
+                checkpoint.iteration,
+            ),
+            seconds=burned,
+            checkpoint=checkpoint,
+        )
+
+    def _capture_rp_checkpoint(
+        self,
+        region_name: str,
+        seed: int,
+        colony: Colony,
+        pheromone: PheromoneTable,
+        tracker: TerminationTracker,
+        best_order: Tuple[int, ...],
+        best_peak: Dict[RegisterClass, int],
+    ) -> RegionCheckpoint:
+        """Snapshot pass-1 search state at the current iteration boundary."""
+        return RegionCheckpoint(
+            region=region_name,
+            scheduler=self.name,
+            backend=colony.backend_name,
+            seed=seed,
+            pass_index=1,
+            iteration=tracker.iterations,
+            tau=pheromone.tau.copy(),
+            best_cost=tracker.best_cost,
+            without_improvement=tracker.iterations_without_improvement,
+            best_order=tuple(best_order),
+            best_peak=dict(best_peak),
+            rng_state=colony.streams.state(),
+            num_ants=colony.num_ants,
+        )
+
+    def _capture_ilp_checkpoint(
+        self,
+        region_name: str,
+        seed: int,
+        colony: Colony,
+        pheromone: PheromoneTable,
+        tracker: TerminationTracker,
+        best_order: Tuple[int, ...],
+        best_peak: Dict[RegisterClass, int],
+        best_schedule: Schedule,
+    ) -> RegionCheckpoint:
+        """Snapshot pass-2 search state. ``best_order``/``best_peak`` are
+        the pass-2 *inputs* (pass 1's final answer) — a resume re-enters
+        pass 2 with them unchanged; the evolving best lives in
+        ``best_cycles``/``best_cost``. The caller (:meth:`schedule`)
+        attaches the completed pass-1 result payload."""
+        return RegionCheckpoint(
+            region=region_name,
+            scheduler=self.name,
+            backend=colony.backend_name,
+            seed=seed,
+            pass_index=2,
+            iteration=tracker.iterations,
+            tau=pheromone.tau.copy(),
+            best_cost=tracker.best_cost,
+            without_improvement=tracker.iterations_without_improvement,
+            best_order=tuple(best_order),
+            best_peak=dict(best_peak),
+            best_cycles=tuple(best_schedule.cycles),
+            rng_state=colony.streams.state(),
+            num_ants=colony.num_ants,
+        )
+
     # -- pass 1 ----------------------------------------------------------------
 
     def _run_rp_pass(
@@ -303,6 +510,10 @@ class ParallelACOScheduler:
         bounds: RegionBounds,
         initial_order: Tuple[int, ...],
         seed: int,
+        faulty: Optional[FaultyDevice] = None,
+        budget: Optional[DeadlineBudget] = None,
+        attempt: int = 0,
+        resume: Optional[RegionCheckpoint] = None,
     ) -> Tuple[Tuple[int, ...], Dict[RegisterClass, int], ParallelPassResult]:
         region = ddg.region
         lb_cost = rp_cost_lower_bound(bounds, self.machine)
@@ -326,15 +537,54 @@ class ParallelACOScheduler:
             return best_order, best_peak, result
 
         scope = tele.pass_scope(region.name, 1, self.name, lb_cost, best_cost)
+        self._check_launch(faulty, region.name, 1, attempt, budget)
         colony, accounting = self._make_colony(data, seed)
         transfer = self._transfer(data, colony.num_ants)
+        # Injected hazards for this attempt: a corrupted host->device copy
+        # stays silent until the integrity check at copy-back; a hang fires
+        # after a fixed number of this attempt's iterations.
+        corrupted = (
+            faulty.transfer_corrupted(region.name, 1, attempt)
+            if faulty is not None
+            else False
+        )
+        hang_after = (
+            faulty.hang_iteration(region.name, 1, attempt)
+            if faulty is not None
+            else None
+        )
         pheromone = PheromoneTable(ddg.num_instructions, self.params)
         tracker = TerminationTracker(
             lower_bound=lb_cost,
             stagnation_limit=self.params.termination_condition(len(region)),
             best_cost=best_cost,
         )
+        if resume is not None:
+            self._resume_state(resume, region.name, pheromone, tracker, colony)
+            best_order = tuple(resume.best_order)
+            best_peak = dict(resume.best_peak)
+        hang_at = None if hang_after is None else tracker.iterations + hang_after
+        if budget is not None:
+            budget.charge(transfer.seconds() + self.device.cost.launch_overhead)
+        deadline_hit = False
+        charged_kernel = 0.0
         while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
+            if budget is not None and budget.exhausted:
+                deadline_hit = True
+                self._trip_deadline(tele, region.name, 1, budget)
+                break
+            if hang_at is not None and tracker.iterations >= hang_at:
+                raise self._hang(
+                    faulty,
+                    budget,
+                    self._capture_rp_checkpoint(
+                        region.name, seed, colony, pheromone, tracker,
+                        best_order, best_peak,
+                    ),
+                    accounting,
+                    transfer,
+                    attempt,
+                )
             result = colony.run_rp_iteration(pheromone.tau)
             accounting.charge_uniform_cycles(
                 self._iteration_overhead_cycles(data, colony.num_ants)
@@ -346,6 +596,18 @@ class ParallelACOScheduler:
                 best_order = result.winner_order
                 best_peak = result.winner_peak
             scope.iteration(float(result.winner_cost), tracker.best_cost)
+            if budget is not None:
+                kernel_now = accounting.kernel_seconds()
+                budget.charge(kernel_now - charged_kernel)
+                charged_kernel = kernel_now
+        if corrupted:
+            raise CorruptionDetected(
+                "integrity check at copy-back: corrupted transfer in region %r "
+                "pass 1 attempt %d" % (region.name, attempt),
+                seconds=accounting.kernel_seconds()
+                + transfer.seconds()
+                + self.device.cost.launch_overhead,
+            )
         kernel_seconds = accounting.kernel_seconds()
         transfer_seconds = transfer.seconds()
         launch_seconds = self.device.cost.launch_overhead
@@ -361,6 +623,7 @@ class ParallelACOScheduler:
             kernel_seconds=kernel_seconds,
             launch_seconds=launch_seconds,
             trace=scope.trace,
+            deadline_hit=deadline_hit,
         )
         scope.end(
             invoked=True,
@@ -398,6 +661,10 @@ class ParallelACOScheduler:
         best_peak: Dict[RegisterClass, int],
         seed: int,
         reference_schedule: Optional[Schedule] = None,
+        faulty: Optional[FaultyDevice] = None,
+        budget: Optional[DeadlineBudget] = None,
+        attempt: int = 0,
+        resume: Optional[RegionCheckpoint] = None,
     ) -> Tuple[Schedule, ParallelPassResult]:
         region = ddg.region
         length_lb = bounds.length
@@ -427,16 +694,56 @@ class ParallelACOScheduler:
             return best_schedule, result
 
         scope = tele.pass_scope(region.name, 2, self.name, length_lb, best_length)
+        self._check_launch(faulty, region.name, 2, attempt, budget)
         colony, accounting = self._make_colony(data, seed + 1)
         transfer = self._transfer(data, colony.num_ants)
+        corrupted = (
+            faulty.transfer_corrupted(region.name, 2, attempt)
+            if faulty is not None
+            else False
+        )
+        hang_after = (
+            faulty.hang_iteration(region.name, 2, attempt)
+            if faulty is not None
+            else None
+        )
         pheromone = PheromoneTable(ddg.num_instructions, self.params)
         tracker = TerminationTracker(
             lower_bound=length_lb,
             stagnation_limit=self.params.termination_condition(len(region)),
             best_cost=best_length,
         )
+        # The schedule-length cap derives from the *pass-start* best — it is
+        # recomputed identically on resume (same pass-1 order, same
+        # reference), keeping resumed searches draw-for-draw compatible.
         max_length = max(2 * best_length, best_length + 16)
+        if resume is not None:
+            self._resume_state(resume, region.name, pheromone, tracker, colony)
+            if resume.best_cycles is not None:
+                best_schedule = Schedule(region, resume.best_cycles)
+                best_length = int(resume.best_cost)
+        hang_at = None if hang_after is None else tracker.iterations + hang_after
+        if budget is not None:
+            budget.charge(transfer.seconds() + self.device.cost.launch_overhead)
+        deadline_hit = False
+        charged_kernel = 0.0
         while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
+            if budget is not None and budget.exhausted:
+                deadline_hit = True
+                self._trip_deadline(tele, region.name, 2, budget)
+                break
+            if hang_at is not None and tracker.iterations >= hang_at:
+                raise self._hang(
+                    faulty,
+                    budget,
+                    self._capture_ilp_checkpoint(
+                        region.name, seed, colony, pheromone, tracker,
+                        best_order, best_peak, best_schedule,
+                    ),
+                    accounting,
+                    transfer,
+                    attempt,
+                )
             result = colony.run_ilp_iteration(pheromone.tau, target, max_length)
             accounting.charge_uniform_cycles(
                 self._iteration_overhead_cycles(data, colony.num_ants)
@@ -445,6 +752,10 @@ class ParallelACOScheduler:
             if result.winner_order is None:
                 tracker.record_iteration(tracker.best_cost)
                 scope.iteration(float("inf"), tracker.best_cost)
+                if budget is not None:
+                    kernel_now = accounting.kernel_seconds()
+                    budget.charge(kernel_now - charged_kernel)
+                    charged_kernel = kernel_now
                 continue
             pheromone.deposit(result.winner_order, result.winner_cost - length_lb)
             if tracker.record_iteration(result.winner_cost):
@@ -452,6 +763,18 @@ class ParallelACOScheduler:
                 best_schedule = Schedule(region, result.winner_cycles)
                 best_length = int(result.winner_cost)
             scope.iteration(float(result.winner_cost), tracker.best_cost)
+            if budget is not None:
+                kernel_now = accounting.kernel_seconds()
+                budget.charge(kernel_now - charged_kernel)
+                charged_kernel = kernel_now
+        if corrupted:
+            raise CorruptionDetected(
+                "integrity check at copy-back: corrupted transfer in region %r "
+                "pass 2 attempt %d" % (region.name, attempt),
+                seconds=accounting.kernel_seconds()
+                + transfer.seconds()
+                + self.device.cost.launch_overhead,
+            )
         kernel_seconds = accounting.kernel_seconds()
         transfer_seconds = transfer.seconds()
         launch_seconds = self.device.cost.launch_overhead
@@ -467,6 +790,7 @@ class ParallelACOScheduler:
             kernel_seconds=kernel_seconds,
             launch_seconds=launch_seconds,
             trace=scope.trace,
+            deadline_hit=deadline_hit,
         )
         scope.end(
             invoked=True,
@@ -502,8 +826,20 @@ class ParallelACOScheduler:
         initial_order: Optional[Tuple[int, ...]] = None,
         bounds: Optional[RegionBounds] = None,
         reference_schedule: Optional[Schedule] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        budget: Optional[DeadlineBudget] = None,
+        attempt: int = 0,
+        resume: Optional[RegionCheckpoint] = None,
     ) -> ParallelACOResult:
-        """Run both passes on one region, on the simulated GPU."""
+        """Run both passes on one region, on the simulated GPU.
+
+        The resilience arguments all default to None/0 and add nothing to
+        the fault-free path: ``fault_plan`` wraps the device in a
+        :class:`FaultyDevice` (chaos mode), ``budget`` enforces the
+        region's deadline in cost-model seconds, ``attempt`` names the
+        retry attempt for fault-site derivation and ``resume`` restores a
+        checkpointed search instead of starting over.
+        """
         if bounds is None:
             bounds = region_bounds(ddg)
         if initial_order is None:
@@ -515,12 +851,53 @@ class ParallelACOScheduler:
         data = RegionDeviceData(
             ddg, self.machine, tight_ready_bound=self.gpu_params.tight_ready_list_bound
         )
-        best_order, best_peak, pass1 = self._run_rp_pass(
-            ddg, data, bounds, tuple(initial_order), seed
+        faulty = (
+            FaultyDevice(self.device, fault_plan) if fault_plan is not None else None
         )
-        schedule, pass2 = self._run_ilp_pass(
-            ddg, data, bounds, best_order, best_peak, seed, reference_schedule
-        )
+        if faulty is not None:
+            # Section V-A preallocates the whole per-ant state in one block;
+            # that is the allocation that can fail.
+            policy = DivergencePolicy.from_params(self.gpu_params)
+            per_ant_words = (
+                2 * data.ready_capacity
+                + 2 * data.num_instructions
+                + 2 * data.num_registers
+                + 8
+            )
+            faulty.check_preallocation(
+                ddg.region.name,
+                attempt,
+                requested_bytes=4 * per_ant_words * policy.num_ants,
+            )
+        if resume is not None and resume.region != ddg.region.name:
+            raise ResilienceError(
+                "checkpoint is for region %r, not %r"
+                % (resume.region, ddg.region.name)
+            )
+        resume1 = resume if resume is not None and resume.pass_index == 1 else None
+        resume2 = resume if resume is not None and resume.pass_index == 2 else None
+        if resume2 is not None and resume2.pass1 is not None:
+            # Pass 1 finished before the interruption; its result and
+            # outputs ride in the checkpoint, so resume re-enters pass 2
+            # directly.
+            pass1 = pass_result_from_payload(resume2.pass1)
+            best_order = tuple(resume2.best_order)
+            best_peak = dict(resume2.best_peak)
+        else:
+            resume2 = None
+            best_order, best_peak, pass1 = self._run_rp_pass(
+                ddg, data, bounds, tuple(initial_order), seed,
+                faulty=faulty, budget=budget, attempt=attempt, resume=resume1,
+            )
+        try:
+            schedule, pass2 = self._run_ilp_pass(
+                ddg, data, bounds, best_order, best_peak, seed, reference_schedule,
+                faulty=faulty, budget=budget, attempt=attempt, resume=resume2,
+            )
+        except DeviceHangError as exc:
+            if exc.checkpoint is not None and exc.checkpoint.pass1 is None:
+                exc.checkpoint.pass1 = pass_result_payload(pass1)
+            raise
         final_peak = peak_pressure(schedule)
         result = ParallelACOResult(
             schedule=schedule,

@@ -24,15 +24,16 @@ from typing import Optional, Tuple, Union
 from ..analysis.ddg_lint import lint_ddg
 from ..analysis.sanitizer import verification_enabled
 from ..analysis.verifier import verify_schedule
-from ..config import FilterParams
+from ..config import FilterParams, ResilienceParams
 from ..aco.sequential import PassResult, SequentialACOScheduler
 from ..ddg.graph import DDG
 from ..ddg.lower_bounds import RegionBounds, region_bounds
-from ..errors import PipelineError
+from ..errors import PipelineError, RegionUnrecoverable
 from ..heuristics.amd_max_occupancy import AMDMaxOccupancyScheduler
 from ..machine.model import MachineModel
 from ..parallel.scheduler import ParallelACOScheduler
 from ..profile import get_profiler
+from ..resilience.ladder import schedule_with_resilience
 from ..rp.cost import ScheduleQuality, evaluate_schedule, rp_cost_lower_bound
 from ..schedule.schedule import Schedule
 from ..suite.rocprim import KernelSpec, Suite
@@ -163,6 +164,7 @@ class CompilePipeline:
         baseline: Optional[AMDMaxOccupancyScheduler] = None,
         telemetry: Optional[Telemetry] = None,
         verify: Optional[bool] = None,
+        resilience: Optional[ResilienceParams] = None,
     ):
         self.machine = machine
         self.scheduler = scheduler
@@ -174,6 +176,9 @@ class CompilePipeline:
         self.baseline = baseline or AMDMaxOccupancyScheduler(machine)
         self._telemetry = telemetry
         self._verify = verify
+        if resilience is not None:
+            resilience.validate()
+        self._resilience = resilience
 
     @property
     def telemetry(self) -> Telemetry:
@@ -184,6 +189,16 @@ class CompilePipeline:
     def verify_enabled(self) -> bool:
         """Explicit ``verify`` argument, else ``REPRO_VERIFY`` (resolved late)."""
         return self._verify if self._verify is not None else verification_enabled()
+
+    @property
+    def resilience(self) -> ResilienceParams:
+        """Explicit ``resilience`` argument, else the ``REPRO_DEADLINE`` /
+        ``REPRO_MAX_RETRIES`` / ``REPRO_CHAOS`` environment (resolved late,
+        like telemetry/verify). Inert defaults leave the direct scheduling
+        path — and its bit-identical outputs — untouched."""
+        if self._resilience is not None:
+            return self._resilience
+        return ResilienceParams.from_env()
 
     @property
     def scheduler_name(self) -> str:
@@ -288,18 +303,47 @@ class CompilePipeline:
             )
             return outcome
 
-        aco_result = self.scheduler.schedule(
-            ddg,
-            seed=seed,
-            initial_order=heuristic_schedule.order,
-            bounds=bounds,
-            reference_schedule=heuristic_schedule,
-        )
+        resilience = self.resilience
+        if resilience.active:
+            # Route through the retry-with-degradation ladder. A region
+            # that exhausts its rungs ships the (already verified-legal)
+            # heuristic schedule instead of failing the compile; the time
+            # burned by faulted attempts still counts as scheduling time.
+            try:
+                ladder = schedule_with_resilience(
+                    self.scheduler,
+                    ddg,
+                    seed,
+                    resilience,
+                    initial_order=heuristic_schedule.order,
+                    bounds=bounds,
+                    reference_schedule=heuristic_schedule,
+                    telemetry=self.telemetry,
+                )
+            except RegionUnrecoverable as exc:
+                outcome.decision = FilterDecision.UNRECOVERABLE
+                outcome.scheduling_seconds = heuristic_seconds + exc.spent_seconds
+                return outcome
+            if ladder.result is None:
+                outcome.decision = FilterDecision.DEGRADED
+                outcome.scheduling_seconds = heuristic_seconds + ladder.spent_seconds
+                return outcome
+            aco_result = ladder.result
+            aco_seconds = ladder.spent_seconds
+        else:
+            aco_result = self.scheduler.schedule(
+                ddg,
+                seed=seed,
+                initial_order=heuristic_schedule.order,
+                bounds=bounds,
+                reference_schedule=heuristic_schedule,
+            )
+            aco_seconds = aco_result.seconds
         aco_quality = evaluate_schedule(aco_result.schedule, self.machine)
         outcome.aco = aco_quality
         outcome.pass1 = aco_result.pass1
         outcome.pass2 = aco_result.pass2
-        outcome.scheduling_seconds = heuristic_seconds + aco_result.seconds
+        outcome.scheduling_seconds = heuristic_seconds + aco_seconds
 
         if self.post_filter.keep_aco(
             aco_quality.occupancy,

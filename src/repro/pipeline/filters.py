@@ -29,6 +29,12 @@ class FilterDecision(enum.Enum):
     SKIPPED_THRESHOLD = "gap-below-cycle-threshold"
     ACO_APPLIED = "aco-applied"
     REVERTED = "reverted-to-heuristic"
+    #: The resilience ladder exhausted its engine rungs (faults/deadline)
+    #: and the heuristic schedule shipped — degraded but correct.
+    DEGRADED = "degraded-to-heuristic"
+    #: Same shipped schedule, but degradation was disabled: the region is
+    #: reported as unrecoverable (the CLI maps this to a nonzero exit).
+    UNRECOVERABLE = "unrecoverable-shipped-heuristic"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,104 @@
+"""The process-wide resilience log (what the CLI's exit code reads).
+
+Telemetry may be off (it is opt-in), but the CLI still has to distinguish
+"compiled clean" from "compiled with degradations" from "region
+unrecoverable". The ladder therefore records every fault, retry, degrade
+and unrecoverable outcome into a tiny process-wide log — injectable and
+resettable like the telemetry object, and empty (zero allocations beyond
+the singleton) on fault-free runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class ResilienceLog:
+    """Counters plus per-region outcome records for one run."""
+
+    #: fault-class name -> injected-fault count.
+    faults: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    resumes: int = 0
+    degrades: int = 0
+    deadline_trips: int = 0
+    #: Regions that ended on the heuristic-only rung (shipped degraded).
+    degraded_regions: List[str] = field(default_factory=list)
+    #: Regions whose ladder was exhausted with degradation forbidden.
+    unrecoverable_regions: List[str] = field(default_factory=list)
+
+    def record_fault(self, fault_class: str) -> None:
+        self.faults[fault_class] = self.faults.get(fault_class, 0) + 1
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults.values())
+
+    @property
+    def eventful(self) -> bool:
+        """True when anything at all happened (drives the CLI summary)."""
+        return bool(
+            self.faults
+            or self.retries
+            or self.degrades
+            or self.deadline_trips
+            or self.degraded_regions
+            or self.unrecoverable_regions
+        )
+
+    def summary(self) -> str:
+        """One-line human summary for the CLI."""
+        parts = []
+        if self.faults:
+            per_class = ", ".join(
+                "%s=%d" % (name, count) for name, count in sorted(self.faults.items())
+            )
+            parts.append("%d fault(s) [%s]" % (self.total_faults, per_class))
+        if self.retries:
+            parts.append("%d retr%s (%d resumed)"
+                         % (self.retries, "y" if self.retries == 1 else "ies", self.resumes))
+        if self.degrades:
+            parts.append("%d degrade step(s)" % self.degrades)
+        if self.deadline_trips:
+            parts.append("%d deadline trip(s)" % self.deadline_trips)
+        if self.degraded_regions:
+            parts.append("%d region(s) shipped heuristic-only" % len(self.degraded_regions))
+        if self.unrecoverable_regions:
+            parts.append(
+                "%d region(s) UNRECOVERABLE (%s)"
+                % (
+                    len(self.unrecoverable_regions),
+                    ", ".join(self.unrecoverable_regions[:5]),
+                )
+            )
+        return "; ".join(parts) if parts else "clean"
+
+
+_LOG = ResilienceLog()
+
+
+def get_resilience_log() -> ResilienceLog:
+    """The process-wide log (the ladder's default sink)."""
+    return _LOG
+
+
+def reset_resilience_log() -> ResilienceLog:
+    """Swap in a fresh process-wide log (the CLI calls this per run)."""
+    global _LOG
+    _LOG = ResilienceLog()
+    return _LOG
+
+
+@contextmanager
+def resilience_log_session(log: ResilienceLog) -> Iterator[ResilienceLog]:
+    """Temporarily install ``log`` as the process-wide log (tests)."""
+    global _LOG
+    previous = _LOG
+    _LOG = log
+    try:
+        yield log
+    finally:
+        _LOG = previous

@@ -1,0 +1,72 @@
+"""Deadline budgets and the watchdog (the "never hang the compile" layer).
+
+A compiler cannot let one scheduling region stall the build, so every
+region gets a **deadline budget** in cost-model seconds
+(``ResilienceParams.deadline_seconds`` / the CLI's ``--deadline``). Both
+ACO schedulers charge the budget inside their iteration loops — the same
+modelled seconds their pass results report — and stop a pass *cleanly*
+when the budget runs out: the global best so far ships as a partial
+result, exactly as if the termination condition had fired early. A soft
+deadline therefore degrades schedule quality, never correctness.
+
+The **watchdog** is the hard form: when an injected hang
+(:meth:`repro.gpusim.faults.FaultPlan.hang_iteration`) stops a simulated
+kernel from making progress, the scheduler charges the heartbeat timeout
+and raises :class:`~repro.errors.DeviceHangError` carrying a checkpoint of
+the last completed iteration — a hung kernel returns no results, but the
+host-side colony state (pheromone table, global best, RNG streams)
+survives for the retry to resume from.
+
+One :class:`DeadlineBudget` spans a whole region — both passes and every
+retry attempt share it, so a region that keeps faulting runs out of road
+and the ladder degrades it instead of retrying forever.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigError, DeadlineExceeded
+
+
+class DeadlineBudget:
+    """Cost-model-second budget for one region's scheduling.
+
+    ``deadline`` of None means unlimited (every check passes and
+    :attr:`exhausted` stays False) so an absent deadline adds no branches
+    to the hot loop beyond one attribute test.
+    """
+
+    def __init__(self, deadline: Optional[float] = None):
+        if deadline is not None and deadline <= 0.0:
+            raise ConfigError("deadline must be positive (or None for unlimited)")
+        self.deadline = deadline
+        self.spent = 0.0
+
+    @property
+    def limited(self) -> bool:
+        return self.deadline is not None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.deadline is not None and self.spent >= self.deadline
+
+    @property
+    def remaining(self) -> float:
+        if self.deadline is None:
+            return float("inf")
+        return max(0.0, self.deadline - self.spent)
+
+    def charge(self, seconds: float) -> None:
+        """Record modelled seconds spent against the budget."""
+        if seconds < 0.0:
+            raise ConfigError("cannot charge negative seconds")
+        self.spent += seconds
+
+    def require(self, what: str) -> None:
+        """Raise :class:`DeadlineExceeded` if nothing is left for ``what``."""
+        if self.exhausted:
+            raise DeadlineExceeded(
+                "deadline budget exhausted before %s (spent %.3gs of %.3gs)"
+                % (what, self.spent, self.deadline)
+            )

@@ -26,7 +26,15 @@ Event types (schema v1):
 ``transfer``              one host<->device copy set (bytes, calls)
 ``batch_start/_end``      one multi-region batched launch
 ``verify``                one independent verification pass (checks, violations)
+``fault``                 one injected fault detected (class, attempt, cost)
+``retry``                 one retry attempt starting (seed, resumed or fresh)
+``degrade``               one degradation-ladder step (from rung -> to rung)
+``deadline``              one soft-deadline stop (budget spent, partial result)
 ========================  ====================================================
+
+The resilience events (``fault``/``retry``/``degrade``/``deadline``) are
+additive in schema v1: old consumers never see them unless the resilience
+layer is active, and the forward-compatibility rule covers new readers.
 """
 
 from __future__ import annotations
@@ -92,6 +100,10 @@ EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
     "batch_start": ("num_regions", "blocks_per_region"),
     "batch_end": ("num_regions", "seconds", "unbatched_seconds", "amortization_speedup"),
     "verify": ("region", "checks", "violations"),
+    "fault": ("region", "fault_class", "attempt", "seconds"),
+    "retry": ("region", "attempt", "seed", "resumed"),
+    "degrade": ("region", "from_rung", "to_rung", "attempt"),
+    "deadline": ("region", "pass_index", "deadline_seconds", "spent_seconds"),
 }
 
 

@@ -1,0 +1,48 @@
+"""CLI exit-code contract for resilience runs.
+
+* exit 0 + a ``[resilience]`` warning summary on stderr when every region
+  shipped (degraded compiles included);
+* exit 3 when any region was unrecoverable (``--no-degrade``).
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _sandbox_env(monkeypatch):
+    # main() writes the resilience knobs into os.environ; pre-seeding them
+    # via monkeypatch guarantees restoration after each test.
+    for name in ("REPRO_DEADLINE", "REPRO_MAX_RETRIES", "REPRO_CHAOS", "REPRO_DEGRADE"):
+        monkeypatch.setenv(name, "")
+    # Each real CLI invocation is a fresh process; drop the process-wide
+    # experiment-context cache so each test compiles under its own knobs.
+    from repro.experiments import common
+
+    monkeypatch.setattr(common, "_CONTEXTS", {})
+
+
+def test_clean_run_exits_zero_without_summary(capsys):
+    rc = main(["table1", "--scale", "test"])
+    assert rc == 0
+    assert "[resilience]" not in capsys.readouterr().err
+
+
+def test_chaos_run_recovers_and_warns(capsys):
+    rc = main(["table1", "--scale", "test", "--chaos", "42", "--max-retries", "2"])
+    captured = capsys.readouterr()
+    assert rc == 0, captured.err
+    assert "[resilience]" in captured.err
+    assert "fault(s)" in captured.err
+
+
+def test_no_degrade_chaos_run_exits_three(capsys):
+    rc = main(["table1", "--scale", "test", "--chaos", "42", "--no-degrade"])
+    captured = capsys.readouterr()
+    assert rc == 3
+    assert "UNRECOVERABLE" in captured.err
+
+
+def test_unknown_experiment_still_exits_two():
+    assert main(["not-an-experiment"]) == 2

@@ -1,0 +1,294 @@
+"""Tests for the retry ladder, pipeline integration, batches and the CLI."""
+
+import pytest
+
+from repro.aco import SequentialACOScheduler
+from repro.config import ACOParams, FilterParams, GPUParams, ResilienceParams
+from repro.ddg import DDG
+from repro.errors import RegionUnrecoverable
+from repro.gpusim.faults import FaultPlan
+from repro.machine import amd_vega20
+from repro.parallel import BatchItem, MultiRegionScheduler, ParallelACOScheduler
+from repro.pipeline import CompilePipeline, FilterDecision
+from repro.resilience.ladder import (
+    HEURISTIC_RUNG,
+    ladder_rungs,
+    schedule_with_resilience,
+)
+from repro.resilience.log import ResilienceLog, resilience_log_session
+from repro.schedule import validate_schedule
+from repro.telemetry import MemorySink, Telemetry
+
+from conftest import make_region
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return amd_vega20()
+
+
+@pytest.fixture(scope="module")
+def ddg():
+    return DDG(make_region("stencil", 4, 14))
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_env(monkeypatch):
+    for name in ("REPRO_DEADLINE", "REPRO_MAX_RETRIES", "REPRO_CHAOS", "REPRO_DEGRADE"):
+        monkeypatch.setenv(name, "")
+
+
+def parallel(machine, **kw):
+    return ParallelACOScheduler(
+        machine,
+        params=ACOParams(max_iterations=12),
+        gpu_params=GPUParams(blocks=4),
+        **kw,
+    )
+
+
+class TestRungs:
+    def test_vectorized_entry(self, machine):
+        assert ladder_rungs(parallel(machine)) == (
+            "vectorized", "loop", "sequential", HEURISTIC_RUNG,
+        )
+
+    def test_loop_entry(self, machine):
+        assert ladder_rungs(parallel(machine, backend="loop")) == (
+            "loop", "sequential", HEURISTIC_RUNG,
+        )
+
+    def test_sequential_entry(self, machine):
+        assert ladder_rungs(SequentialACOScheduler(machine)) == (
+            "sequential", HEURISTIC_RUNG,
+        )
+
+
+class TestLadder:
+    def test_clean_run_single_attempt(self, machine, ddg):
+        with resilience_log_session(ResilienceLog()) as log:
+            outcome = schedule_with_resilience(
+                parallel(machine), ddg, 5, ResilienceParams(enabled=True)
+            )
+        assert outcome.clean
+        assert outcome.rung == "vectorized"
+        assert outcome.attempts == 1
+        assert not log.eventful
+
+    def test_launch_faults_degrade_to_cpu(self, machine, ddg):
+        """Rate-1.0 launch failures kill both GPU engines; the CPU rung
+        (no device, no fault sites) rescues the region."""
+        sink = MemorySink()
+        with resilience_log_session(ResilienceLog()) as log:
+            outcome = schedule_with_resilience(
+                parallel(machine, telemetry=Telemetry(sink=sink)),
+                ddg, 5, ResilienceParams(enabled=True, max_retries=1),
+                fault_plan=FaultPlan(seed=1, rates={"launch": 1.0}),
+            )
+        assert outcome.result is not None
+        assert outcome.rung == "sequential"
+        # Two attempts each on the vectorized and loop rungs, all faulted.
+        assert [f[0] for f in outcome.faults] == ["launch"] * 4
+        assert [f[1] for f in outcome.faults] == [
+            "vectorized", "vectorized", "loop", "loop",
+        ]
+        assert log.faults == {"launch": 4}
+        assert log.degrades == 2
+        assert len(sink.by_type("fault")) == 4
+        assert len(sink.by_type("degrade")) == 2
+        assert len(sink.by_type("retry")) == outcome.attempts - 1
+        validate_schedule(outcome.result.schedule, ddg, machine)
+
+    def test_oom_rescued_by_sequential(self, machine, ddg):
+        with resilience_log_session(ResilienceLog()):
+            outcome = schedule_with_resilience(
+                parallel(machine), ddg, 5,
+                ResilienceParams(enabled=True, max_retries=0),
+                fault_plan=FaultPlan(seed=1, rates={"oom": 1.0}),
+            )
+        assert outcome.result is not None
+        assert outcome.rung == "sequential"
+        assert all(f[0] == "oom" for f in outcome.faults)
+
+    def test_hang_recovers_by_resume(self, machine, ddg):
+        with resilience_log_session(ResilienceLog()) as log:
+            outcome = schedule_with_resilience(
+                parallel(machine), ddg, 5,
+                ResilienceParams(enabled=True, max_retries=2),
+                fault_plan=FaultPlan(seed=1, rates={"hang": 1.0}),
+            )
+        assert outcome.result is not None
+        assert outcome.resumed_attempts >= 1
+        assert log.resumes >= 1
+        validate_schedule(outcome.result.schedule, ddg, machine)
+
+    def test_no_degrade_raises_unrecoverable(self, machine, ddg):
+        resilience = ResilienceParams(enabled=True, max_retries=1, degrade=False)
+        with resilience_log_session(ResilienceLog()) as log:
+            with pytest.raises(RegionUnrecoverable) as info:
+                schedule_with_resilience(
+                    parallel(machine), ddg, 5, resilience,
+                    fault_plan=FaultPlan(seed=1, rates={"launch": 1.0}),
+                )
+        assert len(info.value.causes) == 2  # 1 + max_retries attempts
+        assert info.value.spent_seconds > 0.0
+        assert log.unrecoverable_regions == [ddg.region.name]
+
+    def test_exhausted_budget_goes_straight_to_heuristic(self, machine, ddg):
+        """Faults that burn the whole deadline skip the remaining engine
+        rungs — no attempt can succeed with an exhausted budget."""
+        launch_cost = parallel(machine).device.cost.launch_overhead
+        resilience = ResilienceParams(
+            enabled=True, max_retries=0, deadline_seconds=launch_cost * 0.5
+        )
+        with resilience_log_session(ResilienceLog()) as log:
+            outcome = schedule_with_resilience(
+                parallel(machine), ddg, 5, resilience,
+                fault_plan=FaultPlan(seed=1, rates={"launch": 1.0}),
+            )
+        assert outcome.degraded
+        assert outcome.rung == HEURISTIC_RUNG
+        assert log.degraded_regions == [ddg.region.name]
+
+    def test_seed_rotation_redraws_fault_sites(self, machine, ddg):
+        """With a 50% launch rate, retries must eventually pass — the
+        attempt number is part of the fault site."""
+        with resilience_log_session(ResilienceLog()):
+            outcome = schedule_with_resilience(
+                parallel(machine), ddg, 5,
+                ResilienceParams(enabled=True, max_retries=3),
+                fault_plan=FaultPlan(seed=12, rates={"launch": 0.5}),
+            )
+        assert outcome.result is not None
+
+
+class TestPipeline:
+    def _pipeline(self, machine, resilience=None):
+        return CompilePipeline(
+            machine,
+            scheduler=parallel(machine),
+            filters=FilterParams(cycle_threshold=0),
+            resilience=resilience,
+        )
+
+    def test_fault_free_ladder_is_bit_identical(self, machine):
+        """Resilience enabled but no faults/deadline: every region's
+        outcome matches the plain pipeline exactly."""
+        regions = [DDG(make_region("reduce", s, 12 + s)) for s in range(3)]
+        plain = self._pipeline(machine)
+        laddered = self._pipeline(machine, ResilienceParams(enabled=True))
+        for ddg in regions:
+            a = plain.compile_region(ddg, seed=7)
+            with resilience_log_session(ResilienceLog()) as log:
+                b = laddered.compile_region(ddg, seed=7)
+            assert b.decision == a.decision
+            assert b.schedule.cycles == a.schedule.cycles
+            assert b.scheduling_seconds == pytest.approx(
+                a.scheduling_seconds, rel=1e-9
+            )
+            assert not log.eventful
+
+    def test_chaos_compile_ships_every_region(self, machine):
+        """Under heavy chaos every region still gets a legal schedule."""
+        resilience = ResilienceParams(enabled=True, chaos_seed=42, max_retries=2)
+        pipeline = self._pipeline(machine, resilience)
+        with resilience_log_session(ResilienceLog()):
+            for s in range(3):
+                ddg = DDG(make_region("sort", s, 12 + s))
+                outcome = pipeline.compile_region(ddg, seed=s)
+                assert outcome.schedule is not None
+                validate_schedule(outcome.schedule, ddg, machine)
+                assert isinstance(outcome.decision, FilterDecision)
+
+    def test_degraded_region_ships_heuristic(self, machine, monkeypatch):
+        """Guaranteed faults + a budget too small to survive them degrade
+        the region to its heuristic schedule, and the decision says so."""
+        import repro.resilience.ladder as ladder_mod
+
+        monkeypatch.setattr(
+            ladder_mod.FaultPlan,
+            "from_seed",
+            classmethod(lambda cls, seed, rates=None: FaultPlan(
+                seed=seed, rates={"launch": 1.0}
+            )),
+        )
+        launch_cost = parallel(machine).device.cost.launch_overhead
+        resilience = ResilienceParams(
+            enabled=True,
+            max_retries=0,
+            deadline_seconds=launch_cost * 0.5,
+            chaos_seed=1,
+        )
+        pipeline = self._pipeline(machine, resilience)
+        ddg = DDG(make_region("stencil", 4, 14))
+        with resilience_log_session(ResilienceLog()) as log:
+            outcome = pipeline.compile_region(ddg, seed=5)
+        assert outcome.decision is FilterDecision.DEGRADED
+        assert ddg.region.name in log.degraded_regions
+        assert outcome.schedule is not None
+        validate_schedule(outcome.schedule, ddg, machine)
+
+    def test_unrecoverable_decision(self, machine, monkeypatch):
+        """degrade=False + guaranteed faults -> UNRECOVERABLE decision,
+        heuristic schedule still shipped."""
+        resilience = ResilienceParams(
+            enabled=True, max_retries=0, degrade=False, chaos_seed=1
+        )
+        pipeline = self._pipeline(machine, resilience)
+        # Guarantee the fault: make the ladder's derived plan all-launch.
+        import repro.resilience.ladder as ladder_mod
+
+        monkeypatch.setattr(
+            ladder_mod.FaultPlan,
+            "from_seed",
+            classmethod(lambda cls, seed, rates=None: FaultPlan(
+                seed=seed, rates={"launch": 1.0}
+            )),
+        )
+        ddg = DDG(make_region("stencil", 4, 14))
+        with resilience_log_session(ResilienceLog()) as log:
+            outcome = pipeline.compile_region(ddg, seed=5)
+        assert outcome.decision is FilterDecision.UNRECOVERABLE
+        assert outcome.schedule is not None  # the heuristic still ships
+        validate_schedule(outcome.schedule, ddg, machine)
+        assert log.unrecoverable_regions == [ddg.region.name]
+
+
+class TestMultiRegionBatches:
+    def _items(self, count=3):
+        return [
+            BatchItem(ddg=DDG(make_region("reduce", s, 10 + s)), seed=s)
+            for s in range(count)
+        ]
+
+    def test_fault_free_batch_keeps_historical_shape(self, machine):
+        batch = MultiRegionScheduler(machine).schedule_batch(self._items())
+        assert batch.errors == (None, None, None)
+        assert batch.failed_regions == 0
+        assert len(batch.scheduled) == 3
+
+    def test_failed_region_does_not_abort_batch(self, machine):
+        plan = FaultPlan(seed=1, rates={"launch": 1.0})
+        with resilience_log_session(ResilienceLog()) as log:
+            batch = MultiRegionScheduler(machine).schedule_batch(
+                self._items(), fault_plan=plan
+            )
+        assert batch.failed_regions == 3
+        assert all(e and e.startswith("launch:") for e in batch.errors)
+        assert log.faults.get("launch") == 3
+        assert batch.scheduled == ()
+
+    def test_resilient_batch_rescues_every_region(self, machine):
+        plan = FaultPlan(seed=1, rates={"launch": 1.0})
+        resilience = ResilienceParams(enabled=True, max_retries=1)
+        with resilience_log_session(ResilienceLog()) as log:
+            batch = MultiRegionScheduler(machine).schedule_batch(
+                self._items(), fault_plan=plan, resilience=resilience
+            )
+        assert batch.failed_regions == 0
+        assert batch.errors == (None, None, None)
+        assert log.degrades >= 3
+        # CPU rescues count as serial host time.
+        assert batch.seconds > 0.0
+        for item, result in zip(self._items(), batch.results):
+            validate_schedule(result.schedule, item.ddg, machine)
