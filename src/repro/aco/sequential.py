@@ -30,6 +30,7 @@ from ..heuristics.list_scheduler import schedule_in_order
 from ..heuristics.luc import LastUseCountHeuristic
 from ..ir.registers import RegisterClass
 from ..machine.model import MachineModel
+from ..obs.context import region_trace
 from ..resilience.checkpoint import RegionCheckpoint
 from ..resilience.log import get_resilience_log
 from ..resilience.watchdog import DeadlineBudget
@@ -493,8 +494,28 @@ class SequentialACOScheduler:
         see :meth:`_resume_state`). ``fault_plan`` and ``attempt`` are
         accepted for signature parity; the CPU engine has no device
         hazards, which is exactly why it is the ladder's safe rung.
+
+        Every telemetry event and profiler span the call produces carries
+        the region's trace context — installed here for direct callers,
+        inherited (so a ladder retry's rotated seed keeps the original
+        trace id) when the pipeline/ladder already opened one.
         """
-        del fault_plan, attempt  # no device, no fault sites
+        with region_trace(ddg.region.name, ddg.num_instructions, seed):
+            return self._schedule_traced(
+                ddg, seed, initial_order, bounds, reference_schedule,
+                budget=budget, resume=resume,
+            )
+
+    def _schedule_traced(
+        self,
+        ddg: DDG,
+        seed: int,
+        initial_order: Optional[Tuple[int, ...]],
+        bounds: Optional[RegionBounds],
+        reference_schedule: Optional[Schedule],
+        budget: Optional[DeadlineBudget] = None,
+        resume: Optional[RegionCheckpoint] = None,
+    ) -> ACOResult:
         if bounds is None:
             bounds = region_bounds(ddg)
         if initial_order is None:

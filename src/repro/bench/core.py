@@ -272,6 +272,54 @@ def bench_resilience(context: ExperimentContext) -> Dict[str, Dict[str, object]]
     }
 
 
+def bench_obs(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Observability: aggregation overhead and trace-context coverage.
+
+    Compiles the shared suite once with a :class:`repro.obs` aggregating
+    sink attached and reports what the observability layer *cost* (in
+    modeled seconds — the aggregator has no wall clock) and what it
+    *covered* (every region one trace, every event stamped). The gate is
+    the overhead ratio: aggregation must stay well under the telemetry
+    emit cost it piggybacks on (<5% is the design target).
+
+    Runs under an inert profiler on a fresh pipeline: the bench must not
+    charge spans into the run-wide profiler that ``bench_profile``
+    reconciles, nor disturb the context's cached runs.
+    """
+    from ..obs.aggregate import AggregatingSink, MetricsAggregator
+    from ..pipeline.compiler import CompilePipeline
+    from ..profile import NullProfiler, profile_session
+    from ..telemetry import Telemetry
+
+    aggregator = MetricsAggregator()
+    telemetry = Telemetry(sink=AggregatingSink(aggregator), collect_metrics=False)
+    pipeline = CompilePipeline(
+        context.machine,
+        scheduler=context.parallel_scheduler(),
+        filters=context.filters_for_stats,
+        baseline=context.baseline_scheduler(),
+        telemetry=telemetry,
+    )
+    with profile_session(NullProfiler()):
+        pipeline.compile_suite(context.suite)
+
+    snapshot_bytes = len(aggregator.snapshot_json().encode("utf-8"))
+    updates_per_event = (
+        aggregator.updates / aggregator.events if aggregator.events else 0.0
+    )
+    return {
+        "trace_events": metric(aggregator.events, "events"),
+        "aggregator_updates": metric(aggregator.updates, "updates"),
+        "updates_per_event": metric(updates_per_event, "ratio", "lower"),
+        "modeled_overhead_pct": metric(
+            aggregator.modeled_overhead_pct(), "pct", "lower"
+        ),
+        "snapshot_bytes": metric(snapshot_bytes, "bytes"),
+        "distinct_traces": metric(aggregator.traces, "traces"),
+        "regions_aggregated": metric(aggregator.regions, "regions"),
+    }
+
+
 def bench_profile(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
     """Profiler self-check plus kernel cost attribution rollups.
 
@@ -320,6 +368,7 @@ BENCHES: Dict[str, Callable[[ExperimentContext], Dict[str, Dict[str, object]]]] 
     "fig4": bench_fig4,
     "backend": bench_backend,
     "resilience": bench_resilience,
+    "obs": bench_obs,
     "profile": bench_profile,
 }
 

@@ -11,8 +11,13 @@ ACO iterations, simulated kernel launches — the schema of
 ``--metrics`` collects and prints the metrics registry; ``--profile``
 renders the hierarchical span profile of the run's simulated time and
 ``--profile-stacks PATH`` writes it in collapsed-stack format for
-flamegraph/speedscope tooling (see :mod:`repro.profile`). All of them
-leave results bit-identical: observability observes, it never steers.
+flamegraph/speedscope tooling (see :mod:`repro.profile`). The
+:mod:`repro.obs` layer adds ``--watch`` (live-style terminal dashboard),
+``--openmetrics PATH`` / ``--obs-snapshot PATH`` (Prometheus text and
+deterministic JSON metric exports), ``--perfetto PATH`` (Chrome
+trace-event JSON, one track per region trace) and ``--slo-target``.
+All of them leave results bit-identical: observability observes, it
+never steers.
 
 Backends: ``--backend loop|vectorized`` selects the parallel scheduler's
 ant-construction engine (sets ``REPRO_BACKEND``). Both engines produce
@@ -151,6 +156,43 @@ def main(argv: List[str] = None) -> int:
         "accessors in the GPU simulation (sets REPRO_VERIFY/REPRO_SANITIZE; "
         "see repro.analysis)",
     )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="render the repro.obs terminal dashboard (throughput, latency "
+        "percentiles, backend mix, SLO burn) from the run's event stream "
+        "after the experiments finish",
+    )
+    parser.add_argument(
+        "--openmetrics",
+        metavar="PATH",
+        default=None,
+        help="export the run's aggregated metrics as Prometheus/OpenMetrics "
+        "text to PATH (see repro.obs.export)",
+    )
+    parser.add_argument(
+        "--obs-snapshot",
+        metavar="PATH",
+        default=None,
+        help="export the deterministic metrics snapshot (sorted JSON, "
+        "byte-stable across identical seeded runs) to PATH",
+    )
+    parser.add_argument(
+        "--perfetto",
+        metavar="PATH",
+        default=None,
+        help="export the run's traces as Chrome trace-event JSON to PATH "
+        "(open in Perfetto or chrome://tracing; one track per region trace)",
+    )
+    parser.add_argument(
+        "--slo-target",
+        metavar="FRACTION",
+        type=float,
+        default=None,
+        help="region-success SLO target for the dashboard/exports "
+        "(default 0.99; a region violates by tripping its deadline or "
+        "shipping degraded/unrecoverable)",
+    )
     args = parser.parse_args(argv)
 
     if args.verify:
@@ -205,12 +247,43 @@ def main(argv: List[str] = None) -> int:
 
     from contextlib import ExitStack
 
+    obs_requested = bool(
+        args.watch or args.openmetrics or args.obs_snapshot or args.perfetto
+    )
     stack = ExitStack()
     telemetry = None
-    if args.trace or args.metrics:
-        from .telemetry import JSONLSink, Telemetry, telemetry_session
+    aggregator = None
+    perfetto_sink = None
+    if args.trace or args.metrics or obs_requested:
+        from .telemetry import (
+            JSONLSink,
+            MemorySink,
+            Telemetry,
+            TeeSink,
+            telemetry_session,
+        )
 
-        sink = JSONLSink(args.trace) if args.trace else None
+        sinks = []
+        if args.trace:
+            sinks.append(JSONLSink(args.trace))
+        if obs_requested:
+            from .obs import DEFAULT_SLO_TARGET, AggregatingSink, MetricsAggregator
+
+            aggregator = MetricsAggregator(
+                slo_target=(
+                    args.slo_target if args.slo_target is not None
+                    else DEFAULT_SLO_TARGET
+                )
+            )
+            sinks.append(AggregatingSink(aggregator))
+            if args.perfetto:
+                perfetto_sink = MemorySink()
+                sinks.append(perfetto_sink)
+        sink = None
+        if len(sinks) == 1:
+            sink = sinks[0]
+        elif sinks:
+            sink = TeeSink(*sinks)
         telemetry = Telemetry(sink=sink, collect_metrics=args.metrics or None)
         stack.enter_context(telemetry_session(telemetry))
 
@@ -250,6 +323,28 @@ def main(argv: List[str] = None) -> int:
 
         print("[trace written to %s]" % args.trace)
         print(summarize_trace(args.trace))
+    if aggregator is not None:
+        if args.watch:
+            from .obs import render_dashboard
+
+            print(render_dashboard(aggregator))
+        if args.openmetrics:
+            from .obs import to_openmetrics
+
+            with open(args.openmetrics, "w") as handle:
+                handle.write(to_openmetrics(aggregator))
+            print("[openmetrics written to %s]" % args.openmetrics)
+        if args.obs_snapshot:
+            from .obs import to_snapshot_json
+
+            with open(args.obs_snapshot, "w") as handle:
+                handle.write(to_snapshot_json(aggregator))
+            print("[obs snapshot written to %s]" % args.obs_snapshot)
+        if args.perfetto:
+            from .obs import write_perfetto
+
+            write_perfetto(args.perfetto, perfetto_sink.records)
+            print("[perfetto trace written to %s]" % args.perfetto)
     if profiler is not None:
         from .profile import render_tree, write_collapsed
 

@@ -1,0 +1,210 @@
+"""The live terminal dashboard: one screen of operational truth.
+
+Renders a :class:`~repro.obs.aggregate.MetricsAggregator` as a compact
+ASCII panel: rolling throughput (regions per *simulated* second — the
+only clock the reproduction has), latency percentiles, the construction
+backend mix, the resilience counters and the deadline-SLO/error-budget
+panel with its burn rate.
+
+Two entry points:
+
+* ``repro <experiment> --watch`` — the CLI installs an
+  :class:`~repro.obs.aggregate.AggregatingSink` and renders the panel
+  after each experiment (and CI runs with ``--watch`` disabled, reading
+  the exports instead);
+* ``python -m repro.obs.dashboard TRACE.jsonl`` — fold a recorded trace
+  and render once; add ``--follow`` to poll the file as a run appends to
+  it (the only place in the subsystem that touches the wall clock, and
+  only to pace polling — never to measure).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .aggregate import MetricsAggregator
+from .slo import DEFAULT_SLO_TARGET
+
+_WIDTH = 66
+_BAR = 24
+
+
+def _bar(fraction: float, width: int = _BAR) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _us(seconds: float) -> str:
+    return "%.1f us" % (seconds * 1e6)
+
+
+def _rule(title: str) -> str:
+    body = "== %s " % title
+    return body + "=" * max(0, _WIDTH - len(body))
+
+
+def render_dashboard(
+    aggregator: MetricsAggregator, title: str = "repro.obs dashboard"
+) -> str:
+    """The full panel as a string (deterministic for a given aggregator)."""
+    c = aggregator.counters
+    lines: List[str] = [_rule(title)]
+    lines.append(
+        "events %-10d traces %-8d regions %-8d aco-invoked %d"
+        % (
+            aggregator.events,
+            aggregator.traces,
+            int(c.get("regions.total", 0)),
+            int(c.get("regions.aco_invoked", 0)),
+        )
+    )
+
+    throughput = aggregator.throughput()
+    lines.append(
+        "throughput  %.1f regions/s (simulated; %.1f us scheduling total)"
+        % (
+            throughput["regions_per_simulated_second"],
+            throughput["simulated_seconds"] * 1e6,
+        )
+    )
+
+    latency = aggregator.histograms.get("region.latency_seconds")
+    if latency is not None and latency.count:
+        lines.append(_rule("region latency"))
+        peak = latency.quantile(0.99) or 1.0
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            value = latency.quantile(q)
+            lines.append(
+                "  %s %12s  |%s|" % (label, _us(value), _bar(value / peak))
+            )
+
+    backends = {
+        name.rsplit(".", 1)[-1]: 0.0
+        for name in c if name.startswith("kernel.seconds.")
+    }
+    for name, value in c.items():
+        if name.startswith("kernel.seconds."):
+            backends[name.rsplit(".", 1)[-1]] += value
+    total_kernel = sum(backends.values())
+    if total_kernel > 0:
+        lines.append(_rule("backend mix (kernel seconds)"))
+        for backend in sorted(backends):
+            share = backends[backend] / total_kernel
+            lines.append(
+                "  %-12s %12s  %5.1f%%  |%s|"
+                % (backend, _us(backends[backend]), 100.0 * share, _bar(share))
+            )
+
+    decisions = sorted(
+        (name.rsplit(".", 1)[-1], int(value))
+        for name, value in c.items()
+        if name.startswith("regions.decision.")
+    )
+    if decisions:
+        lines.append(
+            "decisions   "
+            + "  ".join("%s=%d" % (name, count) for name, count in decisions)
+        )
+
+    faults = int(c.get("resilience.faults.total", 0))
+    if faults or c.get("resilience.retries") or c.get("resilience.degrades"):
+        by_class = sorted(
+            (name.split(".")[-1], int(value))
+            for name, value in c.items()
+            if name.startswith("resilience.faults.")
+            and not name.endswith(".total")
+        )
+        detail = (
+            " (%s)" % ", ".join("%s %d" % (k, v) for k, v in by_class)
+            if by_class
+            else ""
+        )
+        lines.append(_rule("resilience"))
+        lines.append(
+            "  faults %d%s  retries %d  resumes %d  degrades %d  "
+            "deadline-trips %d"
+            % (
+                faults,
+                detail,
+                int(c.get("resilience.retries", 0)),
+                int(c.get("resilience.checkpoint_resumes", 0)),
+                int(c.get("resilience.degrades", 0)),
+                int(c.get("resilience.deadline_trips", 0)),
+            )
+        )
+
+    slo = aggregator.slo_report()
+    lines.append(_rule("SLO: %.1f%% of regions under deadline" % (100 * slo.target)))
+    flag = "ok" if slo.healthy else "BREACH"
+    lines.append(
+        "  compliance %6.2f%%  violations %d/%d  budget burned %5.1f%%  "
+        "burn-rate %.2fx  [%s]"
+        % (
+            100.0 * slo.compliance,
+            slo.violations,
+            slo.regions,
+            100.0 * slo.budget_consumed,
+            slo.burn_rate,
+            flag,
+        )
+    )
+    lines.append("=" * _WIDTH)
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.dashboard",
+        description="Render the observability dashboard from a JSONL trace.",
+    )
+    parser.add_argument("trace", help="path to a JSONL telemetry trace")
+    parser.add_argument(
+        "--slo-target", type=float, default=DEFAULT_SLO_TARGET,
+        help="deadline-SLO target fraction (default %(default)s)",
+    )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="poll the trace file and re-render as a live run appends",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="polling interval in wall seconds for --follow (default 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    from .aggregate import aggregate_trace
+
+    try:
+        aggregator, skipped = aggregate_trace(args.trace, slo_target=args.slo_target)
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if skipped:
+        print("[skipped %d invalid line(s)]" % skipped, file=sys.stderr)
+    print(render_dashboard(aggregator), end="")
+
+    if not args.follow:
+        return 0
+
+    import time
+
+    last_events = aggregator.events
+    try:
+        while True:
+            time.sleep(max(0.1, args.interval))
+            aggregator, _ = aggregate_trace(args.trace, slo_target=args.slo_target)
+            if aggregator.events != last_events:
+                last_events = aggregator.events
+                print("\033[2J\033[H", end="")
+                print(render_dashboard(aggregator), end="")
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -32,6 +32,7 @@ from ..errors import GPUSimError, InjectedFault, RegionUnrecoverable
 from ..gpusim.device import GPUDevice
 from ..gpusim.faults import FaultPlan
 from ..machine.model import MachineModel
+from ..obs.context import region_trace
 from ..profile import get_profiler
 from ..resilience.log import get_resilience_log
 from ..schedule.schedule import Schedule
@@ -165,7 +166,21 @@ class MultiRegionScheduler:
         (its own blocks partition, shared fault plan); with only a
         ``fault_plan`` a single attempt is made and an injected fault
         becomes the slot's error instead of aborting the batch.
+
+        Each slot gets its own trace context (unless the caller already
+        installed one): a batch of N regions is N traces, and each slot's
+        faults/retries/downgrades correlate under that slot's trace id.
         """
+        with region_trace(item.ddg.region.name, item.ddg.num_instructions, item.seed):
+            return self._region_result_traced(item, blocks, fault_plan, resilience)
+
+    def _region_result_traced(
+        self,
+        item: BatchItem,
+        blocks: int,
+        fault_plan: Optional[FaultPlan] = None,
+        resilience: Optional[ResilienceParams] = None,
+    ) -> Tuple[Optional[RegionResult], Optional[str]]:
         scheduler = self._region_scheduler(blocks)
         region_name = item.ddg.region.name
         if resilience is not None and resilience.active:

@@ -42,6 +42,7 @@ from ..gpusim.reduction import reduction_cycles
 from ..heuristics.list_scheduler import schedule_in_order
 from ..ir.registers import RegisterClass
 from ..machine.model import MachineModel
+from ..obs.context import region_trace
 from ..profile import get_profiler
 from ..resilience.checkpoint import RegionCheckpoint
 from ..resilience.log import get_resilience_log
@@ -839,7 +840,31 @@ class ParallelACOScheduler:
         region's deadline in cost-model seconds, ``attempt`` names the
         retry attempt for fault-site derivation and ``resume`` restores a
         checkpointed search instead of starting over.
+
+        Every telemetry event and profiler span the call produces carries
+        the region's trace context — installed here for direct callers,
+        inherited (so a ladder retry's rotated seed keeps the original
+        trace id) when the pipeline/ladder already opened one.
         """
+        with region_trace(ddg.region.name, ddg.num_instructions, seed):
+            return self._schedule_traced(
+                ddg, seed, initial_order, bounds, reference_schedule,
+                fault_plan=fault_plan, budget=budget, attempt=attempt,
+                resume=resume,
+            )
+
+    def _schedule_traced(
+        self,
+        ddg: DDG,
+        seed: int,
+        initial_order: Optional[Tuple[int, ...]],
+        bounds: Optional[RegionBounds],
+        reference_schedule: Optional[Schedule],
+        fault_plan: Optional[FaultPlan] = None,
+        budget: Optional[DeadlineBudget] = None,
+        attempt: int = 0,
+        resume: Optional[RegionCheckpoint] = None,
+    ) -> ParallelACOResult:
         if bounds is None:
             bounds = region_bounds(ddg)
         if initial_order is None:

@@ -31,6 +31,7 @@ from ..ddg.lower_bounds import RegionBounds, region_bounds
 from ..errors import PipelineError, RegionUnrecoverable
 from ..heuristics.amd_max_occupancy import AMDMaxOccupancyScheduler
 from ..machine.model import MachineModel
+from ..obs.context import region_trace
 from ..parallel.scheduler import ParallelACOScheduler
 from ..profile import get_profiler
 from ..resilience.ladder import schedule_with_resilience
@@ -208,19 +209,23 @@ class CompilePipeline:
 
     def compile_region(self, ddg: DDG, seed: int = 0) -> RegionOutcome:
         tele = self.telemetry
-        if tele.active:
-            tele.emit(
-                "region_start",
-                region=ddg.region.name,
-                size=len(ddg.region),
-                scheduler=self.scheduler_name,
-            )
-        with get_profiler().span(ddg.region.name, "region"):
-            outcome = self._compile_region(ddg, seed)
-        if self.verify_enabled:
-            self._verify_region(tele, ddg, outcome)
-        if tele.active:
-            self._publish_region(tele, outcome)
+        # One trace per region journey: every event and span below —
+        # passes, launches, and the resilience ladder's faults, retries
+        # and downgrades — shares this deterministic trace id.
+        with region_trace(ddg.region.name, ddg.num_instructions, seed):
+            if tele.active:
+                tele.emit(
+                    "region_start",
+                    region=ddg.region.name,
+                    size=len(ddg.region),
+                    scheduler=self.scheduler_name,
+                )
+            with get_profiler().span(ddg.region.name, "region"):
+                outcome = self._compile_region(ddg, seed)
+            if self.verify_enabled:
+                self._verify_region(tele, ddg, outcome)
+            if tele.active:
+                self._publish_region(tele, outcome)
         return outcome
 
     def _verify_region(self, tele: Telemetry, ddg: DDG, outcome: RegionOutcome) -> None:

@@ -68,6 +68,11 @@ class PhaseRollup:
     #: Execution batches (capacity waves), when the trace recorded them
     #: (an optional field newer traces carry).
     batches: int = 0
+    #: Kernel seconds per engine backend. ``backend`` is an optional
+    #: schema-v1 extra: launches recorded without it (older traces, or
+    #: producers that never learned the field) land under ``"unknown"``
+    #: rather than being dropped or crashing the rollup.
+    backend_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -103,6 +108,10 @@ def kernel_phase_rollup(records: Iterable[Dict]) -> Dict[int, PhaseRollup]:
         phase.serialized_stall_waves += record["serialized_stall_waves"]
         phase.dead_ants += record["dead_ants"]
         phase.batches += record.get("batches", 0)
+        backend = record.get("backend", "unknown")
+        phase.backend_seconds[backend] = (
+            phase.backend_seconds.get(backend, 0.0) + record["kernel_seconds"]
+        )
     return rollups
 
 
@@ -132,6 +141,14 @@ def render_kernel_rollup(rollups: Dict[int, PhaseRollup]) -> str:
             for name, seconds in sorted(phase.seconds.items(), key=lambda kv: -kv[1])
         )
         lines.append("  kernel attribution: %s" % parts)
+        if phase.backend_seconds:
+            mix = ", ".join(
+                "%s %.1f us (%.0f%%)" % (name, seconds * 1e6, 100.0 * seconds / total)
+                for name, seconds in sorted(
+                    phase.backend_seconds.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            )
+            lines.append("  backend mix: %s" % mix)
         lines.append(
             "  divergence: %d selection wave(s), %d stall wave(s), %d dead ant(s)"
             % (

@@ -32,6 +32,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple
 
 from ..errors import ProfileError
+from ..obs.context import current_trace
 
 
 class Span:
@@ -39,17 +40,22 @@ class Span:
 
     ``self_seconds`` is the simulated time charged directly to this span;
     ``total_seconds`` adds every descendant's. ``count`` is how many times
-    the span was entered (or, for leaves, charged).
+    the span was entered (or, for leaves, charged). ``trace_id`` is the
+    trace the span belongs to (inherited from the parent when the child
+    is opened without an ambient trace context), or None outside any
+    trace.
     """
 
-    __slots__ = ("name", "category", "children", "self_seconds", "count")
+    __slots__ = ("name", "category", "children", "self_seconds", "count", "trace_id")
 
-    def __init__(self, name: str, category: str = "span"):
+    def __init__(self, name: str, category: str = "span",
+                 trace_id: Optional[str] = None):
         self.name = name
         self.category = category
-        self.children: Dict[str, "Span"] = {}
+        self.children: Dict[object, "Span"] = {}
         self.self_seconds = 0.0
         self.count = 0
+        self.trace_id = trace_id
 
     @property
     def total_seconds(self) -> float:
@@ -59,11 +65,24 @@ class Span:
     def is_leaf(self) -> bool:
         return not self.children
 
-    def child(self, name: str, category: str = "span") -> "Span":
-        """Get or create (merge) the child span called ``name``."""
-        node = self.children.get(name)
+    def child(self, name: str, category: str = "span",
+              trace_id: Optional[str] = None) -> "Span":
+        """Get or create (merge) the child span called ``name``.
+
+        Merging is by name *within* a trace: a child opened under a
+        different ambient trace than its parent is keyed by
+        ``(name, trace_id)``, so same-named spans from different regions
+        (two regions called ``reduce_3`` in different kernels, or two
+        seeded recompilations of one region) no longer conflate and
+        per-region attribution stays separable. With no trace context —
+        manual profiler use, and every span whose trace matches its
+        parent's — the historical merge-by-name behavior is unchanged.
+        """
+        tid = trace_id if trace_id is not None else self.trace_id
+        key: object = name if (tid is None or tid == self.trace_id) else (name, tid)
+        node = self.children.get(key)
         if node is None:
-            node = self.children[name] = Span(name, category)
+            node = self.children[key] = Span(name, category, trace_id=tid)
         return node
 
     def walk(self, path: Tuple[str, ...] = ()) -> Iterator[Tuple[Tuple[str, ...], "Span"]]:
@@ -109,7 +128,10 @@ class SpanProfiler:
         also aborts the run being profiled; prefer :meth:`span` where a
         ``with`` block fits.
         """
-        node = self.current.child(name, category)
+        context = current_trace()
+        node = self.current.child(
+            name, category, trace_id=context.trace_id if context else None
+        )
         node.count += 1
         self._stack.append(node)
         return node
@@ -138,7 +160,10 @@ class SpanProfiler:
     def charge_leaf(self, name: str, seconds: float, category: str = "leaf") -> None:
         """Charge simulated ``seconds`` to a (merged) leaf child of the
         current span, without pushing it on the stack."""
-        node = self.current.child(name, category)
+        context = current_trace()
+        node = self.current.child(
+            name, category, trace_id=context.trace_id if context else None
+        )
         node.count += 1
         node.self_seconds += seconds
 

@@ -45,6 +45,7 @@ from ..aco.sequential import ACOResult, SequentialACOScheduler
 from ..config import ResilienceParams
 from ..errors import InjectedFault, RegionUnrecoverable
 from ..gpusim.faults import FaultPlan
+from ..obs.context import current_trace, region_trace
 from ..parallel.scheduler import ParallelACOResult, ParallelACOScheduler
 from ..suite.rng import derive_seed
 from ..telemetry import Telemetry
@@ -164,6 +165,28 @@ def schedule_with_resilience(
     rungs = ladder_rungs(scheduler)
     state = _Attempt()
 
+    # The whole ladder — every retry (with its *rotated* seed), every
+    # checkpoint resume, every engine downgrade — runs under ONE region
+    # trace, keyed by the original seed. The pipeline or batch slot may
+    # have installed it already; direct callers get one here.
+    with region_trace(region_name, ddg.num_instructions, seed):
+        return _run_ladder(
+            scheduler, ddg, seed, resilience, initial_order, bounds,
+            reference_schedule, tele, plan, rungs, state, budget, log,
+            region_name,
+        )
+
+
+def _run_ladder(
+    scheduler, ddg, seed, resilience, initial_order, bounds,
+    reference_schedule, tele, plan, rungs, state, budget, log, region_name,
+) -> LadderOutcome:
+    context = current_trace()
+
+    def attempt_span(label: str):
+        """Per-attempt child span fields for the resilience events."""
+        return context.child(label).fields() if context is not None else {}
+
     for rung_index, rung in enumerate(rungs):
         if rung == HEURISTIC_RUNG:
             break
@@ -193,6 +216,7 @@ def schedule_with_resilience(
                     attempt=state.number,
                     seed=attempt_seed,
                     resumed=resumed,
+                    **attempt_span("attempt%d" % state.number),
                 )
                 if tele.collect_metrics:
                     tele.metrics.counter("resilience.retries").inc()
@@ -220,6 +244,7 @@ def schedule_with_resilience(
                     attempt=state.number,
                     seconds=exc.seconds,
                     rung=rung,
+                    **attempt_span("attempt%d" % state.number),
                 )
                 if tele.collect_metrics:
                     tele.metrics.counter(
@@ -260,6 +285,7 @@ def schedule_with_resilience(
             from_rung=rung,
             to_rung=next_rung,
             attempt=state.number,
+            **attempt_span("rung%d" % rung_index),
         )
         if tele.collect_metrics:
             tele.metrics.counter("resilience.degrades").inc()

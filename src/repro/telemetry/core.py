@@ -17,6 +17,7 @@ import math
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.context import current_trace
 from .metrics import ITERATION_BUCKETS, MetricsRegistry
 from .schema import SCHEMA_VERSION, validate_event
 from .sinks import NullSink, Sink
@@ -54,11 +55,24 @@ class Telemetry:
     # -- events -------------------------------------------------------------
 
     def emit(self, event: str, **fields) -> None:
-        """Emit one schema-validated event record (no-op when not tracing)."""
+        """Emit one schema-validated event record (no-op when not tracing).
+
+        When a trace context is installed (see :mod:`repro.obs.context`)
+        the record is stamped with ``trace_id``/``span_id``/``parent_id``
+        — optional envelope extras under schema v1's forward-compatibility
+        rule. Explicitly passed ids win over the ambient context (scopes
+        stamp their own child span ids).
+        """
         if not self.sink.enabled:
             return
         record = {"v": SCHEMA_VERSION, "seq": self._seq, "event": event}
         record.update(fields)
+        context = current_trace()
+        if context is not None:
+            record.setdefault("trace_id", context.trace_id)
+            record.setdefault("span_id", context.span_id)
+            if context.parent_id is not None:
+                record.setdefault("parent_id", context.parent_id)
         validate_event(record)
         self._seq += 1
         self.sink.write(record)
@@ -101,6 +115,12 @@ class PassScope:
         self.region = region
         self.pass_index = pass_index
         self.events: List[Dict] = []
+        # One child span per pass: pass_start/iteration/pass_end share a
+        # span id under the ambient region span (empty when no context).
+        context = current_trace()
+        self._trace_fields: Dict[str, str] = (
+            context.child("pass%d" % pass_index).fields() if context is not None else {}
+        )
         telemetry.emit(
             "pass_start",
             region=region,
@@ -108,6 +128,7 @@ class PassScope:
             scheduler=scheduler,
             lower_bound=float(lower_bound),
             initial_cost=float(initial_cost),
+            **self._trace_fields,
         )
 
     def iteration(self, winner_cost: float, best_cost: float) -> None:
@@ -121,7 +142,7 @@ class PassScope:
             "best_cost": float(best_cost),
         }
         self.events.append(record)
-        self.telemetry.emit("iteration", **record)
+        self.telemetry.emit("iteration", **record, **self._trace_fields)
 
     @property
     def trace(self) -> Tuple[float, ...]:
@@ -151,6 +172,7 @@ class PassScope:
             final_cost=float(final_cost),
             hit_lower_bound=bool(hit_lower_bound),
             seconds=float(seconds),
+            **self._trace_fields,
             **extra,
         )
         if telemetry.collect_metrics and invoked:

@@ -15,6 +15,14 @@ forward-compatibility rule). ``winner_cost: null`` in an ``iteration``
 record means the iteration produced no feasible schedule (every ant died);
 readers should treat it as +infinity.
 
+Under that rule, records emitted while a :mod:`repro.obs.context` trace
+context is installed carry three *optional* envelope extras —
+``trace_id``, ``span_id`` and ``parent_id`` (see
+:data:`TRACE_CONTEXT_FIELDS`) — correlating every event of one region's
+journey (passes, launches, faults, retries, checkpoint resumes,
+downgrades) under one deterministic trace id. They are additive in schema
+v1: no version bump, and traces recorded without a context stay valid.
+
 Event types (schema v1):
 
 ========================  ====================================================
@@ -49,6 +57,10 @@ SCHEMA_VERSION = 1
 
 #: Envelope fields present on every record.
 ENVELOPE_FIELDS: Tuple[str, ...] = ("v", "seq", "event")
+
+#: Optional envelope extras stamped when a trace context is installed
+#: (``parent_id`` is omitted on a trace's root span).
+TRACE_CONTEXT_FIELDS: Tuple[str, ...] = ("trace_id", "span_id", "parent_id")
 
 #: event type -> required (non-envelope) field names.
 EVENT_TYPES: Dict[str, Tuple[str, ...]] = {

@@ -1,0 +1,264 @@
+"""Tests for the metrics aggregation engine: buckets, quantiles, snapshots."""
+
+import json
+import math
+
+import pytest
+
+from repro.config import ACOParams, FilterParams, SuiteParams
+from repro.machine import amd_vega20
+from repro.obs import AggregatingSink, ExpHistogram, MetricsAggregator
+from repro.obs.aggregate import (
+    _HALF_STEP,
+    _SUBSTEPS,
+    MODELED_EMIT_SECONDS,
+    MODELED_UPDATE_SECONDS,
+    QUANTILE_ERROR_BOUND,
+)
+from repro.obs.slo import SLOReport
+from repro.pipeline import CompilePipeline
+from repro.aco import SequentialACOScheduler
+from repro.suite import generate_suite
+from repro.telemetry import MemorySink, Telemetry
+
+
+class TestBucketBoundaries:
+    def test_bounds_are_exact_substep_scalings(self):
+        hist = ExpHistogram(lo_octave=-2, hi_octave=2)
+        expected = [
+            m * 2.0 ** octave for octave in range(-2, 2) for m in _SUBSTEPS
+        ]
+        assert list(hist.bounds) == expected
+        # Power-of-two scaling is exact: octave 0 holds the raw mantissas.
+        assert hist.bounds[8:12] == _SUBSTEPS
+
+    def test_bounds_grow_by_quarter_octave(self):
+        hist = ExpHistogram()
+        ratios = [
+            hist.bounds[i + 1] / hist.bounds[i] for i in range(len(hist.bounds) - 1)
+        ]
+        step = 2.0 ** 0.25
+        assert all(abs(r - step) < 1e-12 for r in ratios)
+
+    def test_value_on_boundary_lands_in_its_bucket(self):
+        hist = ExpHistogram()
+        for bound in (hist.bounds[0], hist.bounds[17], hist.bounds[-1]):
+            hist.counts.clear()
+            hist.observe(bound)
+            index = next(iter(hist.counts))
+            assert hist.bounds[index] == bound  # inclusive upper bound
+
+    def test_value_just_above_boundary_moves_up(self):
+        hist = ExpHistogram()
+        bound = hist.bounds[17]
+        hist.observe(bound * (1.0 + 1e-9))
+        index = next(iter(hist.counts))
+        assert index == 18
+
+    def test_zero_negative_overflow_nonfinite(self):
+        hist = ExpHistogram(lo_octave=-2, hi_octave=2)
+        hist.observe(0.0)
+        hist.observe(-1.0)
+        hist.observe(1e12)  # above the last bound
+        hist.observe(float("nan"))
+        hist.observe(float("inf"))
+        assert hist.zeros == 2
+        assert hist.overflow == 3
+        assert hist.count == 5
+        assert not hist.counts  # no ordinary bucket occupied
+
+    def test_empty_octave_range_rejected(self):
+        with pytest.raises(ValueError):
+            ExpHistogram(lo_octave=3, hi_octave=3)
+
+
+class TestQuantiles:
+    def test_relative_error_bound_holds(self):
+        """The advertised guarantee: in-range quantile estimates are within
+        QUANTILE_ERROR_BOUND (one geometric half-step) of the true value."""
+        hist = ExpHistogram()
+        # ~8 decades, well inside the bucket range (no overflow involved).
+        values = [1.7e-6 * (1.09 ** i) for i in range(200)]
+        for v in values:
+            hist.observe(v)
+        assert hist.overflow == 0
+        ordered = sorted(values)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            true = ordered[max(0, int(math.ceil(q * len(ordered))) - 1)]
+            estimate = hist.quantile(q)
+            assert abs(estimate - true) / true <= QUANTILE_ERROR_BOUND + 1e-12
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = ExpHistogram()
+        hist.observe(3.0)
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == 3.0
+
+    def test_empty_histogram(self):
+        assert ExpHistogram().quantile(0.5) == 0.0
+
+    def test_zeros_dominate_low_quantiles(self):
+        hist = ExpHistogram()
+        for _ in range(9):
+            hist.observe(0.0)
+        hist.observe(5.0)
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(1.0) == 5.0
+
+    def test_half_step_literal(self):
+        assert _HALF_STEP == pytest.approx(2.0 ** 0.125, rel=1e-15)
+        assert QUANTILE_ERROR_BOUND == _HALF_STEP - 1.0
+
+
+def _compile_to_sink(seed_params=None):
+    machine = amd_vega20()
+    suite = generate_suite(
+        seed_params
+        or SuiteParams(num_benchmarks=2, num_kernels=2, regions_per_kernel=3),
+        max_region_size=60,
+    )
+    aggregator = MetricsAggregator()
+    memory = MemorySink()
+    from repro.telemetry import TeeSink
+
+    tele = Telemetry(TeeSink(memory, AggregatingSink(aggregator)))
+    pipeline = CompilePipeline(
+        machine,
+        scheduler=SequentialACOScheduler(
+            machine, params=ACOParams(max_iterations=8), telemetry=tele
+        ),
+        filters=FilterParams(cycle_threshold=0),
+        telemetry=tele,
+    )
+    pipeline.compile_suite(suite)
+    return aggregator, memory.records
+
+
+class TestAggregator:
+    def test_snapshot_byte_stable_across_identical_runs(self):
+        """Two identical seeded runs must serialize to identical bytes."""
+        first, _ = _compile_to_sink()
+        second, _ = _compile_to_sink()
+        assert first.snapshot_json() == second.snapshot_json()
+        assert first.snapshot_json().encode() == second.snapshot_json().encode()
+
+    def test_offline_replay_equals_live_aggregation(self):
+        live, records = _compile_to_sink()
+        replayed = MetricsAggregator()
+        replayed.consume_many(records)
+        assert replayed.snapshot_json() == live.snapshot_json()
+
+    def test_core_metrics_present(self):
+        aggregator, _ = _compile_to_sink()
+        snap = aggregator.snapshot()
+        assert snap["counters"]["regions.total"] > 0
+        assert "region.latency_seconds" in snap["histograms"]
+        q = snap["quantiles"]["region.latency_seconds"]
+        assert set(q) == {"p50", "p95", "p99"}
+        assert q["p50"] <= q["p95"] <= q["p99"]
+        assert snap["throughput"]["regions_per_simulated_second"] > 0
+        assert snap["slo"]["regions"] == snap["counters"]["regions.total"]
+
+    def test_kernel_seconds_keyed_by_pass_and_backend(self):
+        aggregator = MetricsAggregator()
+        base = {
+            "v": 1, "seq": 0, "event": "kernel_launch", "region": "r",
+            "pass_index": 1, "wavefronts": 4, "ants": 8, "iterations": 2,
+            "kernel_seconds": 1e-4, "transfer_seconds": 1e-6,
+            "launch_seconds": 4e-5, "compute_cycles": 10, "memory_cycles": 5,
+            "alloc_cycles": 0, "uniform_cycles": 1,
+            "serialized_selection_waves": 0, "serialized_stall_waves": 0,
+            "dead_ants": 0, "ready_peak": 4, "ready_capacity": 8,
+        }
+        aggregator.consume(dict(base, backend="vectorized"))
+        aggregator.consume(dict(base))  # no backend field -> unknown
+        assert aggregator.counters["kernel.seconds.pass1.vectorized"] == 1e-4
+        assert aggregator.counters["kernel.seconds.pass1.unknown"] == 1e-4
+
+    def test_slo_counts_degraded_and_deadline_regions(self):
+        aggregator = MetricsAggregator(slo_target=0.9)
+        region_end = {
+            "v": 1, "seq": 0, "event": "region_end", "region": "a", "size": 10,
+            "decision": "degraded", "aco_invoked": True,
+            "heuristic_length": 10, "final_length": 10,
+            "heuristic_occupancy": 4, "final_occupancy": 4,
+            "scheduling_seconds": 1e-4,
+        }
+        aggregator.consume(region_end)
+        aggregator.consume(dict(region_end, region="b", decision="aco_applied"))
+        aggregator.consume({
+            "v": 1, "seq": 2, "event": "deadline", "region": "b",
+            "pass_index": 2, "deadline_seconds": 1e-3, "spent_seconds": 9e-4,
+        })
+        report = aggregator.slo_report()
+        assert report.regions == 2
+        assert report.violations == 2  # a degraded, b deadline-tripped
+        assert not report.healthy
+        assert aggregator.counters["resilience.deadline_trips"] == 1
+        hist = aggregator.histograms["deadline.budget_consumed_fraction"]
+        assert hist.count == 1
+
+    def test_same_region_name_different_traces_stay_separate(self):
+        """Two seeded recompiles of one region are two SLO identities when
+        trace-stamped — the merge-conflation bug the trace id fixes."""
+        aggregator = MetricsAggregator()
+        base = {
+            "v": 1, "seq": 0, "event": "region_end", "region": "r", "size": 10,
+            "decision": "aco_applied", "aco_invoked": True,
+            "heuristic_length": 10, "final_length": 9,
+            "heuristic_occupancy": 4, "final_occupancy": 4,
+            "scheduling_seconds": 1e-4,
+        }
+        aggregator.consume(dict(base, trace_id="aaaa", span_id="1111"))
+        aggregator.consume(dict(base, trace_id="bbbb", span_id="2222"))
+        assert aggregator.regions == 2
+        assert aggregator.traces == 2
+
+    def test_unknown_events_counted_not_fatal(self):
+        aggregator = MetricsAggregator()
+        aggregator.consume({"event": "brand_new_event_type"})
+        assert aggregator.events == 1
+        assert not aggregator.counters
+
+    def test_modeled_overhead_under_design_target(self):
+        aggregator, _ = _compile_to_sink()
+        pct = aggregator.modeled_overhead_pct()
+        assert 0.0 < pct < 5.0
+        expected = 100.0 * aggregator.updates * MODELED_UPDATE_SECONDS / (
+            aggregator.events * MODELED_EMIT_SECONDS
+        )
+        assert pct == expected
+
+    def test_snapshot_json_round_trips(self):
+        aggregator, _ = _compile_to_sink()
+        text = aggregator.snapshot_json()
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        assert parsed["snapshot_schema"] == 1
+
+    def test_bad_slo_target_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsAggregator(slo_target=0.0)
+        with pytest.raises(ValueError):
+            MetricsAggregator(slo_target=1.5)
+
+
+class TestSLOReport:
+    def test_compliance_and_burn(self):
+        report = SLOReport(target=0.99, regions=100, violations=2)
+        assert report.compliance == pytest.approx(0.98)
+        assert report.error_budget == pytest.approx(0.01)
+        assert report.budget_consumed == pytest.approx(2.0)
+        assert report.burn_rate == pytest.approx(2.0)
+        assert not report.healthy
+
+    def test_empty_run_is_healthy(self):
+        report = SLOReport(target=0.99, regions=0, violations=0)
+        assert report.compliance == 1.0
+        assert report.budget_consumed == 0.0
+        assert report.healthy
+
+    def test_as_dict_is_plain_and_serializable(self):
+        d = SLOReport(target=0.99, regions=10, violations=0).as_dict()
+        assert d["healthy"] is True
+        json.dumps(d)  # must be serializable as-is

@@ -1,0 +1,154 @@
+"""Tests for the terminal dashboard and the obs CLI entry points."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import ACOParams, FilterParams, SuiteParams
+from repro.machine import amd_vega20
+from repro.obs import AggregatingSink, MetricsAggregator, render_dashboard
+from repro.obs.dashboard import main as dashboard_main
+from repro.obs.export import main as export_main
+from repro.pipeline import CompilePipeline
+from repro.aco import SequentialACOScheduler
+from repro.suite import generate_suite
+from repro.telemetry import JSONLSink, MemorySink, TeeSink, Telemetry
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """A real recorded trace (plus its live aggregator for cross-checks)."""
+    path = str(tmp_path_factory.mktemp("obs") / "trace.jsonl")
+    machine = amd_vega20()
+    suite = generate_suite(
+        SuiteParams(num_benchmarks=2, num_kernels=2, regions_per_kernel=3),
+        max_region_size=60,
+    )
+    aggregator = MetricsAggregator()
+    tele = Telemetry(TeeSink(JSONLSink(path), AggregatingSink(aggregator)))
+    CompilePipeline(
+        machine,
+        scheduler=SequentialACOScheduler(
+            machine, params=ACOParams(max_iterations=8), telemetry=tele
+        ),
+        filters=FilterParams(cycle_threshold=0),
+        telemetry=tele,
+    ).compile_suite(suite)
+    tele.close()
+    return path, aggregator
+
+
+class TestRenderDashboard:
+    def test_panels_present(self, trace_path):
+        _, aggregator = trace_path
+        text = render_dashboard(aggregator)
+        assert "repro.obs dashboard" in text
+        assert "throughput" in text
+        assert "region latency" in text
+        assert "p50" in text and "p99" in text
+        assert "SLO" in text
+        assert "burn-rate" in text
+        assert "[ok]" in text or "[BREACH]" in text
+
+    def test_render_is_deterministic(self, trace_path):
+        _, aggregator = trace_path
+        assert render_dashboard(aggregator) == render_dashboard(aggregator)
+
+    def test_empty_aggregator_renders(self):
+        text = render_dashboard(MetricsAggregator())
+        assert "events 0" in text
+        assert "[ok]" in text  # an empty run violates nothing
+
+    def test_backend_mix_panel_appears_with_kernel_seconds(self):
+        aggregator = MetricsAggregator()
+        aggregator._inc("kernel.seconds.pass1.vectorized", 2e-3)
+        aggregator._inc("kernel.seconds.pass2.loop", 1e-3)
+        text = render_dashboard(aggregator)
+        assert "backend mix" in text
+        assert "vectorized" in text and "loop" in text
+
+    def test_modeled_overhead_stays_under_target(self, trace_path):
+        _, aggregator = trace_path
+        assert aggregator.modeled_overhead_pct() < 5.0
+
+
+class TestDashboardCLI:
+    def test_renders_trace_once(self, trace_path, capsys):
+        path, _ = trace_path
+        assert dashboard_main([path]) == 0
+        out = capsys.readouterr().out
+        assert "repro.obs dashboard" in out
+        assert "SLO" in out
+
+    def test_offline_render_matches_live(self, trace_path, capsys):
+        path, aggregator = trace_path
+        dashboard_main([path])
+        out = capsys.readouterr().out
+        assert out == render_dashboard(aggregator)
+
+    def test_slo_target_flag(self, trace_path, capsys):
+        path, _ = trace_path
+        assert dashboard_main([path, "--slo-target", "0.5"]) == 0
+        assert "50.0%" in capsys.readouterr().out
+
+    def test_missing_trace_errors(self, tmp_path, capsys):
+        assert dashboard_main([str(tmp_path / "absent.jsonl")]) == 2
+
+
+class TestExportCLI:
+    def test_exports_from_trace(self, trace_path, tmp_path, capsys):
+        path, aggregator = trace_path
+        om = str(tmp_path / "m.om")
+        snap = str(tmp_path / "s.json")
+        perfetto = str(tmp_path / "p.json")
+        rc = export_main([
+            path, "--openmetrics", om, "--snapshot", snap, "--perfetto", perfetto,
+        ])
+        assert rc == 0
+        # The offline exports equal the live aggregator's.
+        assert open(snap).read() == aggregator.snapshot_json()
+        from repro.obs import lint_openmetrics
+
+        assert lint_openmetrics(open(om).read()) == []
+        trace = json.load(open(perfetto))
+        assert trace["traceEvents"]
+
+    def test_lint_mode_accepts_own_export(self, trace_path, tmp_path, capsys):
+        path, _ = trace_path
+        om = str(tmp_path / "m.om")
+        export_main([path, "--openmetrics", om])
+        capsys.readouterr()
+        assert export_main(["--lint", om]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_lint_mode_rejects_broken_doc(self, tmp_path, capsys):
+        bad = tmp_path / "bad.om"
+        bad.write_text("# TYPE repro_x counter\nrepro_x 1\n")
+        assert export_main(["--lint", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+
+    def test_default_prints_openmetrics(self, trace_path, capsys):
+        path, _ = trace_path
+        assert export_main([path]) == 0
+        out = capsys.readouterr().out
+        assert out.endswith("# EOF\n")
+
+
+class TestWatchFlag:
+    def test_cli_watch_renders_dashboard(self, tmp_path, capsys, monkeypatch):
+        for name in ("REPRO_DEADLINE", "REPRO_MAX_RETRIES", "REPRO_CHAOS",
+                     "REPRO_DEGRADE"):
+            monkeypatch.setenv(name, "")
+        from repro.cli import main as cli_main
+
+        snap = str(tmp_path / "snap.json")
+        rc = cli_main([
+            "table2", "--scale", "test", "--watch", "--obs-snapshot", snap,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro.obs dashboard" in out
+        assert os.path.exists(snap)
+        json.loads(open(snap).read())

@@ -1,0 +1,85 @@
+"""Tests for the kernel rollup's tolerance of ``backend``-less launches.
+
+Satellite of the observability PR: ``repro.telemetry.report --kernels``
+must keep working on traces recorded before the ``backend`` field
+existed — launches without it land under ``backend="unknown"`` instead
+of crashing or vanishing from the rollup.
+"""
+
+import json
+
+from repro.profile.attribution import kernel_phase_rollup, render_kernel_rollup
+from repro.telemetry.report import main as report_main
+
+
+def _launch(seq, pass_index=1, kernel_seconds=1e-4, **extra):
+    record = {
+        "v": 1, "seq": seq, "event": "kernel_launch", "region": "r",
+        "pass_index": pass_index, "wavefronts": 4, "ants": 8, "iterations": 2,
+        "kernel_seconds": kernel_seconds, "transfer_seconds": 1e-6,
+        "launch_seconds": 4e-5, "compute_cycles": 10, "memory_cycles": 5,
+        "alloc_cycles": 0, "uniform_cycles": 1,
+        "serialized_selection_waves": 0, "serialized_stall_waves": 0,
+        "dead_ants": 0, "ready_peak": 4, "ready_capacity": 8,
+    }
+    record.update(extra)
+    return record
+
+
+class TestRollupBackendTolerance:
+    def test_missing_backend_lands_under_unknown(self):
+        rollups = kernel_phase_rollup([_launch(0), _launch(1)])
+        phase = rollups[1]
+        assert phase.backend_seconds == {"unknown": 2e-4}
+        assert phase.launches == 2
+
+    def test_mixed_records_split_by_backend(self):
+        rollups = kernel_phase_rollup([
+            _launch(0, backend="vectorized", kernel_seconds=3e-4),
+            _launch(1, backend="loop"),
+            _launch(2),  # legacy record, no backend field
+        ])
+        phase = rollups[1]
+        assert phase.backend_seconds == {
+            "vectorized": 3e-4,
+            "loop": 1e-4,
+            "unknown": 1e-4,
+        }
+        # The totals are unaffected by how launches carry the label.
+        assert phase.kernel_seconds == 5e-4
+
+    def test_render_shows_backend_mix_line(self):
+        text = render_kernel_rollup(
+            kernel_phase_rollup([
+                _launch(0, backend="vectorized", kernel_seconds=3e-4),
+                _launch(1),
+            ])
+        )
+        assert "backend mix:" in text
+        mix_line = next(l for l in text.splitlines() if "backend mix" in l)
+        # Sorted by descending seconds: vectorized before unknown.
+        assert mix_line.index("vectorized") < mix_line.index("unknown")
+        assert "unknown" in mix_line
+
+    def test_render_without_launches_unchanged(self):
+        assert "nothing to attribute" in render_kernel_rollup({})
+
+
+class TestReportCLI:
+    def test_kernels_flag_tolerates_backendless_trace(self, tmp_path, capsys):
+        trace = tmp_path / "legacy.jsonl"
+        with open(trace, "w") as fh:
+            for record in (
+                {
+                    "v": 1, "seq": 0, "event": "region_start", "region": "r",
+                    "size": 10, "scheduler": "s",
+                },
+                _launch(1),
+                _launch(2, backend="vectorized"),
+            ):
+                fh.write(json.dumps(record) + "\n")
+        assert report_main([str(trace), "--kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "backend mix:" in out
+        assert "unknown" in out
+        assert "vectorized" in out
