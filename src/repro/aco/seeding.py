@@ -1,0 +1,25 @@
+"""The sequential engine's single sanctioned RNG construction point.
+
+The backend-equivalence contract (PR 4) requires every random decision to
+come from a stream the differential harness can account for. On the
+parallel side that is :class:`repro.parallel.rng.AntRngStreams`; on the
+sequential side it is the one ``random.Random(seed)`` constructed here.
+Static analysis rule RNG-101 flags generator construction anywhere else
+in ``repro.aco`` / ``repro.parallel``, so this module is the only place
+the sequential launch generator can come from — which is exactly what
+makes "same seed, same draws" auditable.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def launch_rng(seed: int) -> random.Random:
+    """The launch generator for one sequential scheduling run.
+
+    Exactly equivalent to ``random.Random(seed)`` — same seeding
+    algorithm, same draw sequence — so routing existing call sites
+    through here is bit-identical.
+    """
+    return random.Random(seed)

@@ -39,9 +39,10 @@ from ..rp.liveness import peak_pressure
 from ..schedule.schedule import Schedule
 from ..profile import get_profiler
 from ..telemetry import Telemetry, get_telemetry
-from ..timing import DEFAULT_CPU_COST, CPUCostModel
+from ..timing import DEFAULT_CPU_COST, CPUCostModel, HostSecondsLedger
 from .ant import AntResult, ConstructionStats, construct_cycles, construct_order
 from .pheromone import PheromoneTable
+from .seeding import launch_rng
 from .stalls import OptionalStallHeuristic
 from .termination import TerminationTracker
 
@@ -220,7 +221,7 @@ class SequentialACOScheduler:
         best_order = tuple(initial_order)
 
         stats = ConstructionStats()
-        seconds = self.cost_model.region_overhead
+        ledger = HostSecondsLedger(self.cost_model.region_overhead)
         tele = self.telemetry
         if best_cost <= lb_cost:
             tele.emit(
@@ -255,14 +256,14 @@ class SequentialACOScheduler:
         charged = 0.0
         while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
             if budget is not None:
-                budget.charge(seconds - charged)
-                charged = seconds
+                budget.charge(ledger.total - charged)
+                charged = ledger.total
                 if budget.exhausted:
                     deadline_hit = True
                     self._trip_deadline(tele, region.name, 1, budget)
                     break
             winner: Optional[AntResult] = None
-            construct_seconds = 0.0
+            construct = HostSecondsLedger()
             for _ant in range(self.params.sequential_ants):
                 result = construct_order(
                     ddg, self.machine, pheromone, prepared, self.params, rng
@@ -273,33 +274,33 @@ class SequentialACOScheduler:
                     result.stats.ready_scans,
                     result.stats.successor_ops,
                 )
-                seconds += ant_seconds
-                construct_seconds += ant_seconds
+                ledger.charge(ant_seconds)
+                construct.charge(ant_seconds)
                 if winner is None or result.rp_cost_value < winner.rp_cost_value:
                     winner = result
             assert winner is not None
             pheromone.decay()
             pheromone.deposit(winner.order, winner.rp_cost_value - lb_cost)
             pheromone_seconds = self.cost_model.pheromone_seconds(pheromone.touched_entries())
-            seconds += pheromone_seconds
+            ledger.charge(pheromone_seconds)
             if tracker.record_iteration(winner.rp_cost_value):
                 best_order = winner.order
                 best_peak = winner.peak
             scope.iteration(float(winner.rp_cost_value), tracker.best_cost)
             if prof.enabled:
                 with prof.span("iteration", "iteration"):
-                    prof.charge_leaf("construct", construct_seconds, "construct")
+                    prof.charge_leaf("construct", construct.total, "construct")
                     prof.charge_leaf("pheromone", pheromone_seconds, "pheromone")
         prof.pop()
         if budget is not None:
-            budget.charge(seconds - charged)
+            budget.charge(ledger.total - charged)
         pass_result = PassResult(
             invoked=True,
             iterations=tracker.iterations,
             initial_cost=best_cost,
             final_cost=tracker.best_cost,
             hit_lower_bound=tracker.hit_lower_bound,
-            seconds=seconds,
+            seconds=ledger.total,
             stats=stats,
             trace=scope.trace,
             deadline_hit=deadline_hit,
@@ -309,7 +310,7 @@ class SequentialACOScheduler:
             iterations=tracker.iterations,
             final_cost=float(tracker.best_cost),
             hit_lower_bound=tracker.hit_lower_bound,
-            seconds=seconds,
+            seconds=ledger.total,
         )
         self._publish_construction_metrics(tele, stats)
         return best_order, best_peak, pass_result
@@ -344,7 +345,7 @@ class SequentialACOScheduler:
         best_length = initial_schedule.length
 
         stats = ConstructionStats()
-        seconds = 0.0
+        ledger = HostSecondsLedger()
         tele = self.telemetry
         if best_length <= length_lb:
             tele.emit(
@@ -361,7 +362,7 @@ class SequentialACOScheduler:
             return best_schedule, result
 
         scope = tele.pass_scope(region.name, 2, self.name, length_lb, best_length)
-        seconds += self.cost_model.region_overhead
+        ledger.charge(self.cost_model.region_overhead)
         prof = get_profiler()
         prof.push("pass2", "pass")
         prof.charge_leaf("overhead", self.cost_model.region_overhead, "overhead")
@@ -385,14 +386,14 @@ class SequentialACOScheduler:
         charged = 0.0
         while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
             if budget is not None:
-                budget.charge(seconds - charged)
-                charged = seconds
+                budget.charge(ledger.total - charged)
+                charged = ledger.total
                 if budget.exhausted:
                     deadline_hit = True
                     self._trip_deadline(tele, region.name, 2, budget)
                     break
             winner: Optional[AntResult] = None
-            construct_seconds = 0.0
+            construct = HostSecondsLedger()
             for _ant in range(self.params.sequential_ants):
                 result = construct_cycles(
                     ddg,
@@ -412,8 +413,8 @@ class SequentialACOScheduler:
                     result.stats.ready_scans,
                     result.stats.successor_ops,
                 )
-                seconds += ant_seconds
-                construct_seconds += ant_seconds
+                ledger.charge(ant_seconds)
+                construct.charge(ant_seconds)
                 if result.alive and (winner is None or result.length < winner.length):
                     winner = result
             pheromone.decay()
@@ -422,16 +423,16 @@ class SequentialACOScheduler:
                 # iteration; the pheromone decay alone reshapes the search.
                 tracker.record_iteration(tracker.best_cost)
                 pheromone_seconds = self.cost_model.pheromone_seconds(pheromone.touched_entries())
-                seconds += pheromone_seconds
+                ledger.charge(pheromone_seconds)
                 scope.iteration(float("inf"), tracker.best_cost)
                 if prof.enabled:
                     with prof.span("iteration", "iteration"):
-                        prof.charge_leaf("construct", construct_seconds, "construct")
+                        prof.charge_leaf("construct", construct.total, "construct")
                         prof.charge_leaf("pheromone", pheromone_seconds, "pheromone")
                 continue
             pheromone.deposit(winner.order, winner.length - length_lb)
             pheromone_seconds = self.cost_model.pheromone_seconds(pheromone.touched_entries())
-            seconds += pheromone_seconds
+            ledger.charge(pheromone_seconds)
             if tracker.record_iteration(winner.length):
                 assert winner.cycles is not None
                 best_schedule = Schedule(region, winner.cycles)
@@ -439,18 +440,18 @@ class SequentialACOScheduler:
             scope.iteration(float(winner.length), tracker.best_cost)
             if prof.enabled:
                 with prof.span("iteration", "iteration"):
-                    prof.charge_leaf("construct", construct_seconds, "construct")
+                    prof.charge_leaf("construct", construct.total, "construct")
                     prof.charge_leaf("pheromone", pheromone_seconds, "pheromone")
         prof.pop()
         if budget is not None:
-            budget.charge(seconds - charged)
+            budget.charge(ledger.total - charged)
         pass_result = PassResult(
             invoked=True,
             iterations=tracker.iterations,
             initial_cost=initial_schedule.length,
             final_cost=best_length,
             hit_lower_bound=tracker.hit_lower_bound,
-            seconds=seconds,
+            seconds=ledger.total,
             stats=stats,
             trace=scope.trace,
             deadline_hit=deadline_hit,
@@ -460,7 +461,7 @@ class SequentialACOScheduler:
             iterations=tracker.iterations,
             final_cost=float(best_length),
             hit_lower_bound=tracker.hit_lower_bound,
-            seconds=seconds,
+            seconds=ledger.total,
         )
         self._publish_construction_metrics(tele, stats)
         return best_schedule, pass_result
@@ -522,7 +523,7 @@ class SequentialACOScheduler:
             from ..heuristics.list_scheduler import order_schedule
 
             initial_order = order_schedule(ddg, heuristic=self.rp_heuristic).order
-        rng = random.Random(seed)
+        rng = launch_rng(seed)
 
         if resume is not None and resume.region != ddg.region.name:
             raise ResilienceError(

@@ -21,7 +21,6 @@ scheme never pays length for pressure below the next APRP step.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -36,9 +35,10 @@ from ..machine.model import MachineModel
 from ..rp.cost import rp_cost, rp_cost_lower_bound
 from ..rp.liveness import peak_pressure
 from ..schedule.schedule import Schedule
-from ..timing import DEFAULT_CPU_COST, CPUCostModel
+from ..timing import DEFAULT_CPU_COST, CPUCostModel, HostSecondsLedger
 from .ant import AntResult, ConstructionStats, construct_cycles
 from .pheromone import PheromoneTable
+from .seeding import launch_rng
 from .sequential import PassResult
 from .termination import TerminationTracker
 
@@ -104,7 +104,7 @@ class WeightedSumACOScheduler:
             bounds = region_bounds(ddg)
         region = ddg.region
         rp_lb = rp_cost_lower_bound(bounds, self.machine)
-        rng = random.Random(seed)
+        rng = launch_rng(seed)
 
         if initial_order is None:
             from ..heuristics.list_scheduler import order_schedule
@@ -128,7 +128,7 @@ class WeightedSumACOScheduler:
             best_cost=best_cost,
         )
         stats = ConstructionStats()
-        seconds = self.cost_model.region_overhead
+        ledger = HostSecondsLedger(self.cost_model.region_overhead)
         trace = []
         max_length = max(2 * initial.length, initial.length + 16)
         while not tracker.should_stop() and tracker.iterations < self.params.max_iterations:
@@ -159,10 +159,12 @@ class WeightedSumACOScheduler:
                     max_length=max_length,
                 )
                 stats.merge(result.stats)
-                seconds += self.cost_model.construction_seconds(
-                    result.stats.steps,
-                    result.stats.ready_scans,
-                    result.stats.successor_ops,
+                ledger.charge(
+                    self.cost_model.construction_seconds(
+                        result.stats.steps,
+                        result.stats.ready_scans,
+                        result.stats.successor_ops,
+                    )
                 )
                 if not result.alive:
                     continue
@@ -176,7 +178,7 @@ class WeightedSumACOScheduler:
                 continue
             trace.append(winner_cost)
             pheromone.deposit(winner.order, winner_cost - lower_bound)
-            seconds += self.cost_model.pheromone_seconds(pheromone.touched_entries())
+            ledger.charge(self.cost_model.pheromone_seconds(pheromone.touched_entries()))
             if tracker.record_iteration(winner_cost):
                 assert winner.cycles is not None
                 best_schedule = Schedule(region, winner.cycles)
@@ -189,7 +191,7 @@ class WeightedSumACOScheduler:
             initial_cost=self._weighted_cost(initial.length, peak_pressure(initial), rp_lb),
             final_cost=best_cost,
             hit_lower_bound=tracker.hit_lower_bound,
-            seconds=seconds,
+            seconds=ledger.total,
             stats=stats,
             trace=tuple(trace),
         )

@@ -15,8 +15,13 @@ them from scratch — the ``-verify-machineinstrs`` of this reproduction:
 * :mod:`~repro.analysis.sanitizer` — the gpusim sanitizer mode
   (``REPRO_SANITIZE=1``): checked SoA accessors, poison discipline,
   cross-ant aliasing and wavefront-uniformity checks;
-* :mod:`~repro.analysis.lint` — the AST determinism lint
-  (``python -m repro.analysis.lint``).
+* :mod:`~repro.analysis.static` — the rule-based static analyzer
+  (``python -m repro.analysis.static``): determinism, RNG discipline,
+  lockstep-divergence, accounting and import-layering rules, with inline
+  suppressions, a committed baseline and text/JSON/SARIF reports;
+* :mod:`~repro.analysis.lint` — deprecation shim for the original AST
+  determinism lint, now rule ``DET-001`` of the static analyzer
+  (``python -m repro.analysis.lint`` still works).
 
 Both ACO schedulers, the compile pipeline and the CLI expose the layer
 behind a ``verify`` flag (``--verify`` / ``REPRO_VERIFY=1``).

@@ -1,68 +1,44 @@
-"""AST-based determinism lint: ``python -m repro.analysis.lint``.
+"""Deprecation shim: the determinism lint moved into the static analyzer.
 
-The reproduction's headline property is bit-for-bit determinism: the same
-seed must give the same schedules, and telemetry must observe without
-steering. Both are easy to break with one careless line — a module-level
-``random.random()`` in an ant path, a ``np.random.seed`` anywhere, a
-telemetry helper that peeks at scheduler state. This lint enforces the
-discipline statically:
+The original AST determinism lint (PR 2) now lives in
+:mod:`repro.analysis.static` as composite rule ``DET-001``, alongside the
+newer rule families (DET-*, RNG-*, DIV-*, ACC-*, LAY-*). This module keeps
+the historical public surface working — ``LintViolation``, ``lint_file``,
+``run_lint``, ``iter_python_files``, ``default_target``, ``main`` and
+``python -m repro.analysis.lint`` — by delegating to the framework, running
+only the migrated rule. Sub-codes (``RNG001`` .. ``TIME001``, ``SYN001``)
+and the ``# lint: allow`` suppression marker are preserved.
 
-``RNG001``  call of a module-level ``random.*`` function (unseeded global
-            RNG) inside a kernel/ant path — inject a ``random.Random``;
-``RNG002``  call of a legacy global ``numpy.random.*`` function anywhere —
-            use ``numpy.random.default_rng(seed)``;
-``RNG003``  ``numpy.random.default_rng()`` called without a seed inside a
-            kernel/ant path;
-``RNG004``  global reseeding (``random.seed`` / ``numpy.random.seed``)
-            anywhere in the library;
-``TEL001``  a telemetry module imports an RNG module;
-``TEL002``  a telemetry module imports scheduler/cost state
-            (``repro.aco`` / ``repro.parallel`` / ``repro.rp`` /
-            ``repro.gpusim``) — telemetry must stay observation-only;
-``TIME001`` wall-clock reads (``time.time`` etc.) in a kernel/ant path —
-            time must come from the deterministic cost models.
-
-A line ending in ``# lint: allow`` is exempt. Exit status is the number of
-files with violations (0 = clean).
+Prefer ``python -m repro.analysis.static`` for new work: it runs the full
+rule catalog, understands ``# repro: noqa[RULE-ID]`` suppressions and the
+committed baseline, and emits JSON/SARIF for CI.
 """
 
 from __future__ import annotations
 
-import ast
 import os
 import sys
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-#: Package sub-paths whose code runs inside kernel/ant construction and
-#: must only draw randomness from injected generators.
-KERNEL_PATHS: Tuple[str, ...] = (
-    "aco", "parallel", "gpusim", "rp", "schedule", "ddg", "heuristics",
+from .static.core import KERNEL_PATHS, iter_python_files as _iter_files
+from .static.engine import parse_file, scan_suppressions
+from .static.rules.legacy import LegacyDeterminismRule
+
+__all__ = [
+    "KERNEL_PATHS",
+    "LintViolation",
+    "default_target",
+    "iter_python_files",
+    "lint_file",
+    "main",
+    "run_lint",
+]
+
+_DEPRECATION_NOTE = (
+    "note: repro.analysis.lint is a compatibility shim; the lint now runs "
+    "as rule DET-001 of `python -m repro.analysis.static`"
 )
-
-#: Module-level ``random`` functions that hit the global (unseeded) RNG.
-_STDLIB_RNG_FUNCS = frozenset(
-    {
-        "random", "randint", "randrange", "choice", "choices", "shuffle",
-        "sample", "uniform", "triangular", "gauss", "normalvariate",
-        "expovariate", "betavariate", "getrandbits", "vonmisesvariate",
-        "paretovariate", "weibullvariate", "lognormvariate",
-    }
-)
-
-#: Legacy global-state ``numpy.random`` functions.
-_NUMPY_RNG_FUNCS = frozenset(
-    {
-        "rand", "randn", "randint", "random", "random_sample", "ranf",
-        "sample", "choice", "shuffle", "permutation", "uniform", "normal",
-        "standard_normal", "exponential", "poisson", "beta", "binomial",
-    }
-)
-
-_RNG_MODULES = frozenset({"random", "numpy.random"})
-#: Package heads telemetry must never import (scheduler/cost state).
-_TELEMETRY_FORBIDDEN_STATE = frozenset({"aco", "parallel", "rp", "gpusim"})
-_WALL_CLOCK_FUNCS = frozenset({"time", "monotonic", "perf_counter", "time_ns"})
 
 
 @dataclass(frozen=True)
@@ -79,161 +55,40 @@ class LintViolation:
         )
 
 
-def _dotted(node: ast.AST) -> str:
-    """The dotted name of an attribute chain (``np.random.seed``), or ''."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return ""
-
-
-class _Checker(ast.NodeVisitor):
-    def __init__(self, path: str, rel: str, allowed_lines: frozenset):
-        self.path = path
-        self.rel = rel.replace(os.sep, "/")
-        self.allowed_lines = allowed_lines
-        self.violations: List[LintViolation] = []
-        self.numpy_aliases = {"numpy"}
-        parts = self.rel.split("/")
-        self.in_kernel_path = any(p in KERNEL_PATHS for p in parts)
-        self.in_telemetry = "telemetry" in parts
-
-    def _flag(self, node: ast.AST, code: str, message: str) -> None:
-        if node.lineno in self.allowed_lines:
-            return
-        self.violations.append(
-            LintViolation(self.path, node.lineno, node.col_offset, code, message)
-        )
-
-    # -- imports -------------------------------------------------------------
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            if alias.name == "numpy":
-                self.numpy_aliases.add(alias.asname or "numpy")
-            if self.in_telemetry and alias.name.split(".")[0] == "random":
-                self._flag(node, "TEL001", "telemetry imports the random module")
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        module = node.module or ""
-        if self.in_telemetry:
-            if module.split(".")[0] == "random" or module.startswith(
-                "numpy.random"
-            ):
-                self._flag(node, "TEL001", "telemetry imports an RNG module")
-            # Both absolute (repro.parallel.colony) and relative
-            # (..parallel.colony, any level) spellings resolve to a head
-            # package; flag the scheduler-state ones.
-            base = module[len("repro."):] if module.startswith("repro.") else module
-            if base.split(".")[0] in _TELEMETRY_FORBIDDEN_STATE:
-                self._flag(
-                    node,
-                    "TEL002",
-                    "telemetry imports scheduler state (%s); telemetry "
-                    "must observe, never steer" % (("." * node.level) + module),
-                )
-        self.generic_visit(node)
-
-    # -- calls ---------------------------------------------------------------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        name = _dotted(node.func)
-        if name:
-            head, _, tail = name.partition(".")
-            # stdlib: random.<func>()
-            if head == "random" and tail in _STDLIB_RNG_FUNCS:
-                if tail == "seed":
-                    pass  # handled below as RNG004
-                elif self.in_kernel_path:
-                    self._flag(
-                        node,
-                        "RNG001",
-                        "module-level random.%s() in a kernel/ant path; "
-                        "draw from an injected random.Random" % tail,
-                    )
-            if name in ("random.seed",):
-                self._flag(node, "RNG004", "global random.seed() forbidden")
-            # numpy: np.random.<func>()
-            parts = name.split(".")
-            if len(parts) >= 3 and parts[0] in self.numpy_aliases and parts[1] == "random":
-                func = parts[2]
-                if func == "seed":
-                    self._flag(node, "RNG004", "global numpy.random.seed() forbidden")
-                elif func in _NUMPY_RNG_FUNCS:
-                    self._flag(
-                        node,
-                        "RNG002",
-                        "legacy global numpy.random.%s(); use "
-                        "numpy.random.default_rng(seed)" % func,
-                    )
-                elif (
-                    func == "default_rng"
-                    and self.in_kernel_path
-                    and not node.args
-                    and not node.keywords
-                ):
-                    self._flag(
-                        node,
-                        "RNG003",
-                        "numpy.random.default_rng() without a seed in a "
-                        "kernel/ant path",
-                    )
-            # wall clock
-            if (
-                self.in_kernel_path
-                and head == "time"
-                and tail in _WALL_CLOCK_FUNCS
-            ):
-                self._flag(
-                    node,
-                    "TIME001",
-                    "wall-clock time.%s() in a kernel/ant path; use the "
-                    "deterministic cost models" % tail,
-                )
-        self.generic_visit(node)
-
-
-def _allowed_lines(source: str) -> frozenset:
-    allowed = set()
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        stripped = line.rstrip()
-        if stripped.endswith("# lint: allow"):
-            allowed.add(lineno)
-    return frozenset(allowed)
-
-
 def lint_file(path: str, root: str) -> List[LintViolation]:
     """Lint one Python file; ``root`` anchors the package-relative path."""
-    with open(path, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
+    ctx, syntax_error = parse_file(path, root)
+    if syntax_error is not None:
         return [
-            LintViolation(path, exc.lineno or 0, exc.offset or 0, "SYN001",
-                          "syntax error: %s" % exc.msg)
+            LintViolation(
+                syntax_error.path,
+                syntax_error.line,
+                syntax_error.col,
+                "SYN001",
+                syntax_error.message,
+            )
         ]
-    rel = os.path.relpath(path, root)
-    checker = _Checker(path, rel, _allowed_lines(source))
-    checker.visit(tree)
-    return checker.violations
+    assert ctx is not None
+    suppressions = scan_suppressions(ctx.source)
+    violations: List[LintViolation] = []
+    for finding in LegacyDeterminismRule().check_file(ctx):
+        if suppressions.suppresses(finding):
+            continue
+        # DET-001 findings carry "SUBCODE message"; the legacy surface
+        # reports the sub-code and the bare message separately.
+        message = finding.message
+        prefix = finding.code + " "
+        if message.startswith(prefix):
+            message = message[len(prefix):]
+        violations.append(
+            LintViolation(finding.path, finding.line, finding.col, finding.code, message)
+        )
+    return violations
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterable[Tuple[str, str]]:
     """Yield (file, root) pairs under each requested path."""
-    for path in paths:
-        if os.path.isfile(path):
-            yield path, os.path.dirname(path) or "."
-        else:
-            for dirpath, _dirnames, filenames in os.walk(path):
-                for name in sorted(filenames):
-                    if name.endswith(".py"):
-                        yield os.path.join(dirpath, name), path
+    return _iter_files(paths)
 
 
 def default_target() -> str:
@@ -248,9 +103,10 @@ def run_lint(paths: Sequence[str]) -> List[LintViolation]:
     return violations
 
 
-def main(argv: Sequence[str] = None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     paths = args or [default_target()]
+    print(_DEPRECATION_NOTE, file=sys.stderr)
     violations = run_lint(paths)
     for violation in violations:
         print(violation)

@@ -37,14 +37,16 @@ _TRUTHY = ("1", "true", "yes", "on")
 def sanitize_enabled() -> bool:
     """True when ``REPRO_SANITIZE`` (or ``REPRO_VERIFY``) is set."""
     return (
-        os.environ.get("REPRO_SANITIZE", "").lower() in _TRUTHY
+        # Documented gateway: enables *checks only*, never steers results.
+        os.environ.get("REPRO_SANITIZE", "").lower() in _TRUTHY  # repro: noqa[DET-003]
         or verification_enabled()
     )
 
 
 def verification_enabled() -> bool:
     """True when ``REPRO_VERIFY`` is set (the ``--verify`` CLI flag)."""
-    return os.environ.get("REPRO_VERIFY", "").lower() in _TRUTHY
+    # Documented gateway: enables *checks only*, never steers results.
+    return os.environ.get("REPRO_VERIFY", "").lower() in _TRUTHY  # repro: noqa[DET-003]
 
 
 # -- checked arrays ----------------------------------------------------------

@@ -1,0 +1,180 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the analyzer gate CI at *zero new findings* from day one
+without first fixing every historical violation: known findings are
+recorded with a content fingerprint and silently matched on later runs,
+while anything not in the file fails the scan. The committed file is a
+ratchet — CI separately checks it only ever shrinks (see the
+``static-analysis`` job), so debt is paid down, never added to.
+
+Fingerprints are line-content based, not line-number based: a finding is
+``sha256(rule id | relative path | sub-code | stripped source line |
+occurrence ordinal)``. Inserting or deleting unrelated lines above a
+violation does not invalidate its baseline entry; editing the violating
+line itself does (the finding then resurfaces as new, which is the
+intended nudge to fix rather than re-baseline it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ...errors import AnalysisError
+from .core import Finding
+
+#: Discovered upward from the scan target (repo root holds the real one).
+BASELINE_FILENAME = ".repro-static-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def finding_fingerprint(finding: Finding, line_text: str, ordinal: int) -> str:
+    """Stable content hash for one finding (see module docstring)."""
+    payload = "|".join(
+        [
+            finding.rule_id,
+            finding.rel,
+            finding.code,
+            line_text.strip(),
+            str(ordinal),
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    line: int
+    message: str
+    justification: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+        if self.justification:
+            record["justification"] = self.justification
+        return record
+
+
+class Baseline:
+    """An in-memory baseline: a set of fingerprints plus their metadata."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = (), path: Optional[str] = None):
+        self.path = path
+        self.entries: List[BaselineEntry] = list(entries)
+        self._by_fingerprint = {e.fingerprint: e for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._by_fingerprint
+
+    def get(self, fingerprint: str) -> Optional[BaselineEntry]:
+        return self._by_fingerprint.get(fingerprint)
+
+    def fingerprints(self) -> List[str]:
+        return sorted(self._by_fingerprint)
+
+    # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise AnalysisError("cannot read baseline %s: %s" % (path, exc)) from None
+        if payload.get("version") != _FORMAT_VERSION:
+            raise AnalysisError(
+                "baseline %s has version %r, expected %d"
+                % (path, payload.get("version"), _FORMAT_VERSION)
+            )
+        entries = [
+            BaselineEntry(
+                fingerprint=str(rec["fingerprint"]),
+                rule=str(rec["rule"]),
+                path=str(rec["path"]),
+                line=int(rec.get("line", 0)),
+                message=str(rec.get("message", "")),
+                justification=str(rec.get("justification", "")),
+            )
+            for rec in payload.get("findings", [])
+        ]
+        return cls(entries, path=path)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding], path: Optional[str] = None) -> "Baseline":
+        entries = [
+            BaselineEntry(
+                fingerprint=f.fingerprint,
+                rule=f.rule_id,
+                path=f.rel,
+                line=f.line,
+                message=f.message,
+            )
+            for f in sorted(findings, key=Finding.sort_key)
+        ]
+        return cls(entries, path=path)
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write the baseline (sorted, trailing newline — byte-stable)."""
+        target = path or self.path
+        if not target:
+            raise AnalysisError("no baseline path to write to")
+        payload = {
+            "version": _FORMAT_VERSION,
+            "tool": "repro.analysis.static",
+            "findings": [
+                e.to_json()
+                for e in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.line, e.fingerprint)
+                )
+            ],
+        }
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+
+def discover_baseline(start: str, max_levels: int = 8) -> Optional[str]:
+    """Walk upward from ``start`` looking for :data:`BASELINE_FILENAME`.
+
+    ``python -m repro.analysis.static src/repro`` from a repo checkout
+    finds the repo root's committed baseline this way without any flag.
+    """
+    current = os.path.abspath(start)
+    if os.path.isfile(current):
+        current = os.path.dirname(current)
+    for _ in range(max_levels):
+        candidate = os.path.join(current, BASELINE_FILENAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            break
+        current = parent
+    return None
+
+
+def assert_shrunk(old: Baseline, new: Baseline) -> List[BaselineEntry]:
+    """Entries present in ``new`` but not in ``old`` (the ratchet check).
+
+    An empty return means the baseline only shrank (or stayed equal) —
+    the CI job fails when this is non-empty.
+    """
+    old_fps = set(old.fingerprints())
+    return [e for e in new.entries if e.fingerprint not in old_fps]

@@ -1,0 +1,239 @@
+"""Command line front end: ``python -m repro.analysis.static``.
+
+Exit codes: 0 — clean (no unbaselined findings); 1 — findings; 2 — usage
+or configuration error (bad rule id, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from ...errors import AnalysisError
+from .baseline import Baseline, assert_shrunk, discover_baseline
+from .core import all_rules, default_target, rule_ids
+from .engine import SYNTAX_RULE_ID, analyze_paths
+from .reporters import render_json, render_sarif, render_text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.static",
+        description=(
+            "Rule-based static analyzer proving determinism, RNG, "
+            "divergence, accounting and layering discipline at the AST "
+            "level."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="primary report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the primary report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report to FILE",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "baseline file to match findings against (default: discover "
+            ".repro-static-baseline.json upward from the first scan path)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "snapshot all current findings into the baseline file and exit "
+            "0; stale entries are dropped"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule ids (repeatable, comma-separated ok)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip these rule ids (repeatable, comma-separated ok)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id, severity, summary, rationale)",
+    )
+    parser.add_argument(
+        "--assert-shrunk-from",
+        metavar="OLD_BASELINE",
+        help=(
+            "fail (exit 1) if the current baseline contains entries absent "
+            "from OLD_BASELINE — the CI ratchet check"
+        ),
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baseline-matched findings in text output",
+    )
+    return parser
+
+
+def _split_rule_args(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    out: List[str] = []
+    for value in values:
+        out.extend(part.strip().upper() for part in value.split(",") if part.strip())
+    return out or None
+
+
+def _list_rules() -> str:
+    lines: List[str] = []
+    for rule in all_rules():
+        lines.append(
+            "%s  [%s, %s scope]  %s" % (rule.rule_id, rule.severity, rule.scope, rule.summary)
+        )
+        lines.append("    %s" % rule.rationale)
+    lines.append("%s  [error, engine]  unparsable or unreadable source file" % SYNTAX_RULE_ID)
+    lines.append(
+        "    An analyzer that silently skips what it cannot parse reports "
+        "'clean' exactly when the tree is most broken."
+    )
+    return "\n".join(lines)
+
+
+def _validate_rule_ids(requested: Optional[List[str]]) -> Optional[str]:
+    if not requested:
+        return None
+    known = set(rule_ids()) | {SYNTAX_RULE_ID}
+    for rule_id in requested:
+        if rule_id not in known:
+            return rule_id
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = _split_rule_args(args.select)
+    ignore = _split_rule_args(args.ignore)
+    for requested in (select, ignore):
+        unknown = _validate_rule_ids(requested)
+        if unknown is not None:
+            print("error: unknown rule id %r" % unknown, file=sys.stderr)
+            return 2
+
+    paths = args.paths or [default_target()]
+
+    baseline: Optional[Baseline] = None
+    baseline_path: Optional[str] = None
+    if not args.no_baseline:
+        baseline_path = args.baseline or discover_baseline(paths[0])
+        if baseline_path is not None and not (
+            args.write_baseline and not os.path.isfile(baseline_path)
+        ):
+            try:
+                baseline = Baseline.load(baseline_path)
+            except AnalysisError as exc:
+                print("error: %s" % exc, file=sys.stderr)
+                return 2
+
+    try:
+        report = analyze_paths(
+            paths,
+            baseline=None if args.write_baseline else baseline,
+            select=select,
+            ignore=ignore,
+        )
+    except AnalysisError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or baseline_path
+        if target is None:
+            print(
+                "error: no baseline file found to write; pass --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        snapshot = Baseline.from_findings(report.all_raw_findings(), path=target)
+        snapshot.save()
+        print(
+            "wrote %d finding(s) to %s" % (len(snapshot), target),
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.assert_shrunk_from:
+        try:
+            old = Baseline.load(args.assert_shrunk_from)
+        except AnalysisError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        current = (
+            baseline
+            if baseline is not None
+            else Baseline.from_findings(report.all_raw_findings())
+        )
+        grown = assert_shrunk(old, current)
+        if grown:
+            for entry in grown:
+                print(
+                    "baseline grew: %s %s %s:%d"
+                    % (entry.fingerprint, entry.rule, entry.path, entry.line),
+                    file=sys.stderr,
+                )
+            return 1
+
+    if args.format == "json":
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report)
+    else:
+        rendered = render_text(report, verbose=args.verbose)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif(report))
+
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Report renderers: human text, machine JSON, and SARIF 2.1.0.
+
+All three render the same :class:`~repro.analysis.static.engine.AnalysisReport`.
+The JSON and SARIF forms are deterministic (sorted findings, sorted keys)
+so CI artifacts diff cleanly between runs on the same tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .core import Finding, all_rules
+from .engine import AnalysisReport
+
+#: SARIF has no "advice"; map to its nearest level.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "advice": "note"}
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(report: AnalysisReport, verbose: bool = False) -> str:
+    """The default terminal report: findings then a one-line summary."""
+    out: List[str] = []
+    for finding in report.findings:
+        out.append(str(finding))
+    if verbose and report.baselined:
+        out.append("")
+        out.append("baselined (matched %s):" % (report.baseline_path or "baseline"))
+        for finding in report.baselined:
+            out.append("  " + str(finding))
+    if report.stale_baseline:
+        out.append("")
+        out.append(
+            "stale baseline entries (fixed findings — remove them with "
+            "--write-baseline):"
+        )
+        for entry in report.stale_baseline:
+            out.append(
+                "  %s %s %s:%d" % (entry.fingerprint, entry.rule, entry.path, entry.line)
+            )
+    out.append("")
+    if report.findings:
+        out.append(
+            "%d finding(s) in %d file(s) [%d baselined, %d suppressed]"
+            % (
+                len(report.findings),
+                report.files_scanned,
+                len(report.baselined),
+                len(report.suppressed),
+            )
+        )
+    else:
+        out.append(
+            "static analysis: clean (%d file(s), %d rule(s), %d baselined, "
+            "%d suppressed)"
+            % (
+                report.files_scanned,
+                len(report.rules_run),
+                len(report.baselined),
+                len(report.suppressed),
+            )
+        )
+    return "\n".join(out).lstrip("\n")
+
+
+def _finding_json(finding: Finding) -> Dict[str, object]:
+    return {
+        "rule": finding.rule_id,
+        "code": finding.code,
+        "severity": finding.severity,
+        "path": finding.rel,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "fingerprint": finding.fingerprint,
+    }
+
+
+def render_json(report: AnalysisReport) -> str:
+    payload = {
+        "tool": "repro.analysis.static",
+        "files_scanned": report.files_scanned,
+        "rules_run": list(report.rules_run),
+        "baseline": report.baseline_path,
+        "findings": [_finding_json(f) for f in report.findings],
+        "baselined": [_finding_json(f) for f in report.baselined],
+        "suppressed": [_finding_json(f) for f in report.suppressed],
+        "stale_baseline": [e.to_json() for e in report.stale_baseline],
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(report: AnalysisReport) -> str:
+    """SARIF 2.1.0 with the full rule catalog in the tool descriptor.
+
+    Only *new* (unbaselined, unsuppressed) findings become results —
+    matching what fails the scan — and each carries its baseline
+    fingerprint so uploads correlate across commits.
+    """
+    rules_meta = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": _SARIF_LEVELS[rule.severity]},
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.rel},
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproStatic/v1": finding.fingerprint},
+            "properties": {"code": finding.code},
+        }
+        for finding in report.findings
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis.static",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

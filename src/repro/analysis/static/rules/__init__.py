@@ -1,0 +1,31 @@
+"""Builtin rule plugins.
+
+Importing this package registers every builtin rule with the framework
+registry (:func:`repro.analysis.static.core.register` runs at class
+definition time). Third-party or repo-local rules can call ``register``
+themselves; the engine picks up whatever the registry holds.
+
+Rule id scheme — a stable family prefix plus a number that is never
+reused:
+
+========  ============================================================
+``DET-``  determinism hazards (wall clock, global RNG state, unordered
+          iteration, environment reads)
+``RNG-``  RNG stream discipline (all draws via AntRngStreams)
+``DIV-``  lockstep-divergence hazards in the vectorized hot path
+``ACC-``  simulated-time accounting discipline
+``LAY-``  import-layering contract between packages
+``SYN-``  reserved for the engine (unparsable files)
+========  ============================================================
+"""
+
+from . import accounting, determinism, divergence, layering, legacy, rng_discipline
+
+__all__ = [
+    "accounting",
+    "determinism",
+    "divergence",
+    "layering",
+    "legacy",
+    "rng_discipline",
+]

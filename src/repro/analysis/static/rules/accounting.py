@@ -1,0 +1,123 @@
+"""``ACC-301`` / ``ACC-302`` — simulated-time accounting discipline.
+
+Every simulated second in the system must flow through an auditable
+charging primitive: :class:`repro.gpusim.kernel.KernelAccounting`'s
+``charge_*`` methods on the device side, the span profiler's
+``charge_leaf`` on the host side, and
+:class:`repro.timing.HostSecondsLedger` for host-side accumulation. That
+single-funnel property is what makes the deadline watchdog's budget, the
+profiler's >=95% leaf-attribution check, and the 1-ULP spent/seconds
+agreement (PR 5) provable at all — a stray ``foo.compute_cycles += x`` or
+a hand-rolled ``seconds += y`` local is time the watchdog never sees and
+the profiler cannot attribute.
+
+Owner modules (exempt): ``gpusim/kernel.py`` and ``gpusim/device.py``
+(the accounting itself), ``timing.py`` (cost models and the ledger), and
+everything under ``profile/`` (span trees and attribution own their
+``*_seconds`` fields).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Tuple
+
+from ..core import Finding, FileContext, Rule, register
+
+#: Modules that own accounting state and may mutate it directly.
+_OWNER_PREFIXES = ("gpusim/", "profile/")
+_OWNER_MODULES = frozenset({"timing.py"})
+
+#: Packages whose hand-rolled seconds accumulators ACC-302 polices (the
+#: scheduler hot paths whose time feeds budgets, telemetry and benches).
+_ACCUMULATOR_HEADS = frozenset({"aco", "parallel", "gpusim"})
+
+
+def _is_owner(ctx: FileContext) -> bool:
+    rel = ctx.module_rel
+    return rel in _OWNER_MODULES or rel.startswith(_OWNER_PREFIXES)
+
+
+def _cycles_or_seconds(name: str) -> bool:
+    return name.endswith("_cycles") or name.endswith("_seconds") or name == "wavefront_cycles"
+
+
+def _assignment_targets(node: ast.AST) -> Iterator[Tuple[ast.AST, ast.expr]]:
+    """(statement, target) pairs for plain and augmented assignments."""
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            yield node, target
+    elif isinstance(node, ast.AugAssign):
+        yield node, node.target
+
+
+@register
+class AccountingAttributeWriteRule(Rule):
+    rule_id = "ACC-301"
+    name = "accounting-attribute-write"
+    severity = "error"
+    summary = (
+        "*_cycles/*_seconds attribute mutated outside the accounting owners"
+    )
+    rationale = (
+        "KernelAccounting's category counters and the profiler's span "
+        "seconds are the ground truth every budget, SLO and bench "
+        "baseline reads. A write from outside the owning module bypasses "
+        "the charge_* funnel: the mutation is never split per category, "
+        "never reaches kernel_launch telemetry, and never counts against "
+        "a deadline budget. Call charge_compute/charge_memory/"
+        "charge_alloc/charge_uniform_cycles (or charge_leaf) instead."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if _is_owner(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            for stmt, target in _assignment_targets(node):
+                if isinstance(target, ast.Attribute) and _cycles_or_seconds(
+                    target.attr
+                ):
+                    yield ctx.finding(
+                        self,
+                        stmt,
+                        "direct write to .%s outside the accounting owner "
+                        "modules; route through a charge_* primitive"
+                        % target.attr,
+                    )
+
+
+@register
+class HandRolledSecondsAccumulatorRule(Rule):
+    rule_id = "ACC-302"
+    name = "hand-rolled-seconds-accumulator"
+    severity = "warning"
+    summary = (
+        "Local 'seconds +=' accumulation in a scheduler package instead of "
+        "HostSecondsLedger"
+    )
+    rationale = (
+        "A bare local accumulating simulated seconds is invisible "
+        "accounting: nothing asserts it is non-negative, nothing ties it "
+        "to the budget charge cadence, and each site re-implements the "
+        "same summation by hand. repro.timing.HostSecondsLedger is the "
+        "one sanctioned accumulator — same float addition order, so "
+        "adopting it is bit-identical, but every charge passes one "
+        "audited funnel."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.package_head not in _ACCUMULATOR_HEADS or _is_owner(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            target = node.target
+            if isinstance(target, ast.Name) and (
+                target.id == "seconds" or target.id.endswith("_seconds")
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "hand-rolled accumulator '%s += ...'; use "
+                    "repro.timing.HostSecondsLedger.charge()" % target.id,
+                )

@@ -1,0 +1,149 @@
+"""``DET-002`` / ``DET-003`` / ``DET-004`` — determinism hazards beyond
+the legacy lint.
+
+The sequential and parallel schedulers must replay bit-for-bit from a
+seed, across backends, shards, and fault retries. Three hazard classes
+the legacy lint never covered:
+
+* **unordered iteration** (``DET-002``): iterating a ``set`` in a
+  kernel/ant path makes downstream decisions depend on hash order — for
+  strings that order changes per process (hash randomization), the exact
+  failure mode that makes parallel ACO runs "work on my machine";
+* **environment reads** (``DET-003``): ``os.environ`` consulted outside
+  ``repro.config`` creates hidden inputs the seed does not capture, so
+  two runs with equal seeds can diverge because a shell exported a var;
+* **wall-clock dates** (``DET-004``): ``datetime.now()`` and friends
+  anywhere in the library leak real time into outputs that must be
+  byte-stable (bench fingerprints, baselines, goldens).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..core import Finding, FileContext, Rule, dotted_name, register
+
+
+def _iteration_sites(tree: ast.AST) -> Iterator[ast.expr]:
+    """Every expression something iterates over: for-loops, comprehensions."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, ast.comprehension):
+            yield node.iter
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name.split(".")[-1] in ("set", "frozenset")
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    rule_id = "DET-002"
+    name = "unordered-set-iteration"
+    severity = "error"
+    summary = "Iteration over a set in a kernel/ant path"
+    rationale = (
+        "Set iteration order follows hash order; for str keys it changes "
+        "per process under hash randomization. Any scheduling or RNG "
+        "decision fed by such a loop breaks seeded replay across "
+        "processes, shards and retries. Use sorted(...) or "
+        "dict.fromkeys(...) (insertion-ordered dedup) instead."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_kernel_path:
+            return
+        for iter_expr in _iteration_sites(ctx.tree):
+            if _is_set_expression(iter_expr):
+                yield ctx.finding(
+                    self,
+                    iter_expr,
+                    "iteration over a set in a kernel/ant path; order is "
+                    "hash-dependent — use sorted(...) or dict.fromkeys(...)",
+                )
+
+
+@register
+class EnvironmentReadRule(Rule):
+    rule_id = "DET-003"
+    name = "environment-read-outside-config"
+    severity = "warning"
+    summary = "os.environ read outside repro.config"
+    rationale = (
+        "Environment variables are inputs the seed does not capture. "
+        "Every sanctioned runtime knob flows through repro.config (or a "
+        "documented gateway carrying an explicit suppression); scattered "
+        "os.environ reads make a run's behaviour depend on shell state "
+        "that no fingerprint or checkpoint records."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_rel == "config.py":
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in ("os.getenv", "os.environ.get", "os.environb.get"):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "%s() outside repro.config; route the knob through "
+                        "repro.config or mark a documented gateway" % name,
+                    )
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, ast.Load
+            ):
+                name = dotted_name(node.value)
+                if name in ("os.environ", "os.environb"):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "%s[...] read outside repro.config; route the knob "
+                        "through repro.config or mark a documented gateway"
+                        % name,
+                    )
+
+
+_WALL_CLOCK_TAILS = frozenset({"now", "utcnow", "today"})
+_WALL_CLOCK_HEADS = frozenset({"datetime", "date"})
+
+
+@register
+class WallClockDateRule(Rule):
+    rule_id = "DET-004"
+    name = "wall-clock-datetime"
+    severity = "error"
+    summary = "datetime.now()/utcnow()/date.today() anywhere in the library"
+    rationale = (
+        "All simulated time comes from the deterministic cost models and "
+        "all artifacts (bench JSON, baselines, goldens, traces) must be "
+        "byte-stable across runs; a wall-clock date embedded anywhere "
+        "breaks byte-for-byte reproducibility. The legacy TIME001 only "
+        "guarded time.time() in kernel paths — this covers datetime "
+        "everywhere."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name:
+                continue
+            parts = name.split(".")
+            if parts[-1] in _WALL_CLOCK_TAILS and any(
+                p in _WALL_CLOCK_HEADS for p in parts[:-1]
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "wall-clock %s(); deterministic artifacts must not "
+                    "embed real dates" % name,
+                )

@@ -1,0 +1,126 @@
+"""``DIV-201`` / ``DIV-202`` — lockstep-divergence hazards in the
+vectorized engine.
+
+The vectorized colony is the static twin of the differential harness: it
+must execute every construction step as whole-population array operations
+(one virtual instruction per wavefront), exactly like the paper's HIP
+kernel. Two Python-level patterns silently break that model without
+breaking correctness-at-a-glance:
+
+* a **per-lane Python loop** (``for a in range(self.num_ants)``) executes
+  lanes sequentially host-side — the cost model keeps charging lockstep
+  prices for what is now divergent serial work, so the construct-speedup
+  benchmark and Table 4 ablations report fiction;
+* **lane-array aliasing** (``self.dead = self.active``) makes two pieces
+  of per-ant state share one buffer; a later in-place update mutates both,
+  which is precisely the cross-ant aliasing class the runtime sanitizer
+  hunts dynamically (PR 2) — this is its compile-time arm.
+
+Scope: the lockstep hot-path modules listed in ``_HOT_MODULES``. The loop
+backend (``parallel/loop.py``) is exempt by design — its whole point is
+per-lane scalar execution charged at divergent prices.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, FileContext, Rule, register
+
+#: Lockstep hot-path modules (package-relative). loop.py is deliberately
+#: absent: the scalar reference engine is *supposed* to run per-lane.
+_HOT_MODULES = frozenset({"parallel/vectorized.py"})
+
+#: Names that identify the population/lane axis in iteration expressions.
+_LANE_AXIS_NAMES = frozenset({"num_ants", "_ants", "num_lanes", "lane_ids"})
+
+
+def _mentions_lane_axis(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in _LANE_AXIS_NAMES:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in _LANE_AXIS_NAMES:
+            return True
+    return False
+
+
+@register
+class PerLaneLoopRule(Rule):
+    rule_id = "DIV-201"
+    name = "per-lane-python-loop"
+    severity = "error"
+    summary = "Python loop over the ant/lane axis in a lockstep hot path"
+    rationale = (
+        "The vectorized engine's cost model charges each step as one "
+        "lockstep array operation per wavefront. A host-side Python loop "
+        "over ants executes lanes serially while still being billed "
+        "lockstep prices, so BENCH_backend speedups and the Table 4 "
+        "divergence ablations stop measuring anything real. Express the "
+        "step as a whole-population numpy operation, or put it in the "
+        "loop backend where serialized-lane charging applies."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_rel not in _HOT_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _mentions_lane_axis(node.iter):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "Python loop over the lane axis in a lockstep hot "
+                        "path; use a whole-population array operation",
+                    )
+            elif isinstance(node, ast.comprehension):
+                if _mentions_lane_axis(node.iter):
+                    yield ctx.finding(
+                        self,
+                        node.iter,
+                        "comprehension over the lane axis in a lockstep hot "
+                        "path; use a whole-population array operation",
+                    )
+
+
+@register
+class LaneArrayAliasingRule(Rule):
+    rule_id = "DIV-202"
+    name = "lane-array-aliasing"
+    severity = "error"
+    summary = "self.X = self.Y aliasing between per-ant state arrays"
+    rationale = (
+        "Binding one per-ant SoA attribute to another shares a single "
+        "numpy buffer between two logical states; the next in-place "
+        "update (self.X[...] = ...) silently mutates both — cross-ant "
+        "state bleed that only surfaces as schedules differing between "
+        "backends many steps later. Copy explicitly (self.Y.copy()) or "
+        "write through a slice (self.X[:] = self.Y)."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_rel not in _HOT_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+            ):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "self.%s = self.%s aliases two state attributes to "
+                        "one buffer; use .copy() or a slice assignment"
+                        % (target.attr, value.attr),
+                    )

@@ -157,5 +157,7 @@ class RegionUnrecoverable(ResilienceError):
 
     def __init__(self, message: str, causes=(), spent_seconds: float = 0.0):
         self.causes = tuple(causes)
-        self.spent_seconds = float(spent_seconds)
+        # Data field on an exception, not an accounting mutation: the value
+        # was already charged by the ladder before being carried here.
+        self.spent_seconds = float(spent_seconds)  # repro: noqa[ACC-301]
         super().__init__(message)

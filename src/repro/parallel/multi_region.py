@@ -37,6 +37,7 @@ from ..profile import get_profiler
 from ..resilience.log import get_resilience_log
 from ..schedule.schedule import Schedule
 from ..telemetry import Telemetry, get_telemetry
+from ..timing import HostSecondsLedger
 from ..aco.sequential import ACOResult
 from .scheduler import ParallelACOResult, ParallelACOScheduler
 
@@ -283,7 +284,7 @@ class MultiRegionScheduler:
         max_kernel = 0.0
         total_transfer = 0.0
         unbatched = 0.0
-        host_seconds = 0.0
+        host = HostSecondsLedger()
         any_invoked = 0
         for result in results:
             if result is None:
@@ -291,7 +292,7 @@ class MultiRegionScheduler:
             if not isinstance(result, ParallelACOResult):
                 # A CPU rescue (resilience ladder's sequential rung): no
                 # device work to batch; its time is serial host time.
-                host_seconds += result.seconds
+                host.charge(result.seconds)
                 unbatched += result.seconds
                 continue
             kernel, transfer, passes = self._kernel_and_transfer(result)
@@ -305,7 +306,7 @@ class MultiRegionScheduler:
             batch = BatchResult(
                 tuple(results),
                 tuple(blocks),
-                host_seconds,
+                host.total,
                 unbatched,
                 errors=tuple(errors),
             )

@@ -136,7 +136,9 @@ class PressureTracker:
     def closes_ranges(self, inst: Instruction) -> int:
         """How many live ranges ``inst`` would close (the LUC heuristic input)."""
         closing = 0
-        for reg in set(inst.uses):
+        # dict.fromkeys, not set(): insertion-ordered dedup keeps the loop
+        # independent of hash order (static analysis rule DET-002).
+        for reg in dict.fromkeys(inst.uses):
             if (
                 self._remaining_uses.get(reg, 0) == 1
                 and reg not in self.region.live_out

@@ -140,6 +140,33 @@ class CompileTimeModel:
         )
 
 
+class HostSecondsLedger:
+    """The sanctioned host-side accumulator for simulated seconds.
+
+    Scheduler hot paths must not hand-roll ``seconds += x`` locals
+    (static analysis rule ACC-302): a bare accumulator is invisible
+    accounting — nothing asserts the charge is non-negative and every
+    site re-implements the same summation. The ledger is a drop-in
+    replacement with identical float addition order (``total += x``), so
+    adopting it is bit-identical, but every charge passes one audited
+    funnel. The device-side equivalent is ``KernelAccounting.charge_*``.
+    """
+
+    __slots__ = ("total",)
+
+    def __init__(self, initial: float = 0.0) -> None:
+        if initial < 0.0:
+            raise ValueError("ledger cannot start negative: %r" % (initial,))
+        self.total = float(initial)
+
+    def charge(self, seconds: float) -> float:
+        """Add ``seconds`` (>= 0) and return the running total."""
+        if seconds < 0.0:
+            raise ValueError("cannot charge negative seconds: %r" % (seconds,))
+        self.total += seconds
+        return self.total
+
+
 #: The default models used by every experiment.
 DEFAULT_CPU_COST = CPUCostModel()
 DEFAULT_GPU_COST = GPUCostModel()

@@ -1,0 +1,141 @@
+"""CLI tests for ``python -m repro.analysis.static``: exit codes, formats,
+baseline writing, rule selection, and the repo self-scan gate."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.analysis.static import default_target
+from repro.analysis.static.cli import main
+
+BAD = "def f(items):\n    for x in set(items):\n        pass\n"
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        _write(tmp_path, "viz/ok.py", "x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        _write(tmp_path, "aco/bad.py", BAD)
+        assert main([str(tmp_path)]) == 1
+        assert "DET-002" in capsys.readouterr().out
+
+    def test_unknown_rule_id_exits_two(self, tmp_path, capsys):
+        _write(tmp_path, "viz/ok.py", "x = 1\n")
+        assert main([str(tmp_path), "--select", "NOPE-999"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_json_format(self, tmp_path, capsys):
+        _write(tmp_path, "aco/bad.py", BAD)
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "DET-002"
+
+    def test_sarif_format_and_side_file(self, tmp_path, capsys):
+        _write(tmp_path, "aco/bad.py", BAD)
+        sarif_path = tmp_path / "out.sarif"
+        assert main([str(tmp_path), "--format", "sarif", "--sarif", str(sarif_path)]) == 1
+        stdout_payload = json.loads(capsys.readouterr().out)
+        file_payload = json.loads(sarif_path.read_text())
+        assert stdout_payload == file_payload
+        assert file_payload["version"] == "2.1.0"
+
+    def test_output_file(self, tmp_path, capsys):
+        _write(tmp_path, "aco/bad.py", BAD)
+        out = tmp_path / "report.txt"
+        assert main([str(tmp_path), "--output", str(out)]) == 1
+        assert "DET-002" in out.read_text()
+        assert capsys.readouterr().out == ""
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET-001", "DET-002", "RNG-101", "DIV-201", "ACC-301", "LAY-401", "SYN-001"):
+            assert rule_id in out
+
+
+class TestRuleSelection:
+    def test_select_runs_only_chosen_rule(self, tmp_path, capsys):
+        _write(
+            tmp_path,
+            "aco/bad.py",
+            "import random\nrng = random.Random(1)\n" + BAD,
+        )
+        assert main([str(tmp_path), "--select", "DET-002", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {"DET-002"}
+
+    def test_ignore_drops_rule(self, tmp_path, capsys):
+        _write(tmp_path, "aco/bad.py", BAD)
+        assert main([str(tmp_path), "--ignore", "DET-002"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestBaselineFlow:
+    def test_write_then_match_then_ratchet(self, tmp_path, capsys):
+        _write(tmp_path, "aco/bad.py", BAD)
+        baseline = tmp_path / ".repro-static-baseline.json"
+
+        # Snapshot the debt.
+        assert main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert baseline.is_file()
+        capsys.readouterr()
+
+        # Baselined scan is clean; --no-baseline resurfaces the finding.
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert main([str(tmp_path), "--no-baseline"]) == 1
+        capsys.readouterr()
+
+        # Ratchet: equal baseline passes, grown baseline fails.
+        assert main(
+            [str(tmp_path), "--baseline", str(baseline),
+             "--assert-shrunk-from", str(baseline)]
+        ) == 0
+        empty = tmp_path / "empty-baseline.json"
+        empty.write_text('{"version": 1, "tool": "repro.analysis.static", "findings": []}\n')
+        capsys.readouterr()
+        assert main(
+            [str(tmp_path), "--baseline", str(baseline),
+             "--assert-shrunk-from", str(empty)]
+        ) == 1
+        assert "baseline grew" in capsys.readouterr().err
+
+    def test_baseline_discovered_upward(self, tmp_path, capsys):
+        _write(tmp_path, "pkg/aco/bad.py", BAD)
+        assert main([str(tmp_path / "pkg"), "--baseline",
+                     str(tmp_path / ".repro-static-baseline.json"),
+                     "--write-baseline"]) == 0
+        capsys.readouterr()
+        # No --baseline flag: the file is found by walking upward.
+        assert main([str(tmp_path / "pkg")]) == 0
+
+
+class TestSelfScan:
+    def test_repo_self_scan_is_clean(self, capsys):
+        """The acceptance gate: zero unbaselined findings on src/repro."""
+        assert main([default_target()]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_module_is_runnable(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.static", default_target()],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout

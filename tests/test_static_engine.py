@@ -1,0 +1,229 @@
+"""Engine-level tests: suppressions, baseline lifecycle, fingerprints,
+registry invariants, and reporter output structure."""
+
+import json
+import re
+
+from repro.analysis.static import (
+    Baseline,
+    SYNTAX_RULE_ID,
+    all_rules,
+    analyze_paths,
+    assert_shrunk,
+    render_json,
+    render_sarif,
+    render_text,
+    rule_ids,
+    scan_suppressions,
+)
+from repro.analysis.static.core import SEVERITIES
+
+
+def _write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+def _analyze(tmp_path, **kwargs):
+    return analyze_paths([str(tmp_path)], **kwargs)
+
+
+BAD_SET_ITER = "def f(items):\n    for x in set(items):\n        pass\n"
+
+
+class TestRegistry:
+    def test_rule_ids_are_unique_and_well_formed(self):
+        ids = rule_ids()
+        assert len(ids) == len(set(ids))
+        for rule_id in ids:
+            assert re.match(r"^[A-Z]{3}-\d{3}$", rule_id), rule_id
+
+    def test_every_rule_documented(self):
+        for rule in all_rules():
+            assert rule.summary, rule.rule_id
+            assert rule.rationale, rule.rule_id
+            assert rule.severity in SEVERITIES
+            assert rule.scope in ("file", "project")
+
+    def test_expected_rule_families_present(self):
+        ids = set(rule_ids())
+        assert {"DET-001", "DET-002", "DET-003", "DET-004"} <= ids
+        assert {"RNG-101", "RNG-102"} <= ids
+        assert {"DIV-201", "DIV-202"} <= ids
+        assert {"ACC-301", "ACC-302"} <= ids
+        assert "LAY-401" in ids
+
+
+class TestSuppressions:
+    def test_rule_addressed_noqa(self, tmp_path):
+        _write(
+            tmp_path,
+            "aco/bad.py",
+            "def f(items):\n"
+            "    for x in set(items):  # repro: noqa[DET-002]\n"
+            "        pass\n",
+        )
+        report = _analyze(tmp_path)
+        assert report.findings == []
+        assert [f.rule_id for f in report.suppressed] == ["DET-002"]
+
+    def test_blanket_noqa(self, tmp_path):
+        _write(
+            tmp_path,
+            "aco/bad.py",
+            "def f(items):\n"
+            "    for x in set(items):  # repro: noqa\n"
+            "        pass\n",
+        )
+        report = _analyze(tmp_path)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_noqa_for_other_rule_does_not_silence(self, tmp_path):
+        _write(
+            tmp_path,
+            "aco/bad.py",
+            "def f(items):\n"
+            "    for x in set(items):  # repro: noqa[DET-004]\n"
+            "        pass\n",
+        )
+        report = _analyze(tmp_path)
+        assert [f.rule_id for f in report.findings] == ["DET-002"]
+
+    def test_legacy_allow_only_covers_det001(self, tmp_path):
+        # lint: allow silences the migrated legacy rule...
+        _write(
+            tmp_path,
+            "aco/legacy.py",
+            "import random\nx = random.random()  # lint: allow\n",
+        )
+        # ...but not the new rule families.
+        _write(
+            tmp_path,
+            "aco/modern.py",
+            "def f(items):\n"
+            "    for x in set(items):  # lint: allow\n"
+            "        pass\n",
+        )
+        report = _analyze(tmp_path)
+        assert [f.rule_id for f in report.findings] == ["DET-002"]
+        assert [f.rule_id for f in report.suppressed] == ["DET-001"]
+
+    def test_scan_suppressions_parses_multiple_ids(self):
+        sup = scan_suppressions("x = 1  # repro: noqa[DET-002, RNG-101]\n")
+        assert sup.noqa[1] == {"DET-002", "RNG-101"}
+
+
+class TestSyntaxRule:
+    def test_unparsable_file_is_reported(self, tmp_path):
+        _write(tmp_path, "aco/broken.py", "def f(:\n")
+        report = _analyze(tmp_path)
+        assert [f.rule_id for f in report.findings] == [SYNTAX_RULE_ID]
+        assert report.findings[0].code == "SYN001"
+
+
+class TestBaseline:
+    def test_round_trip_silences_findings(self, tmp_path):
+        _write(tmp_path, "aco/bad.py", BAD_SET_ITER)
+        first = _analyze(tmp_path)
+        assert len(first.findings) == 1
+
+        baseline_path = tmp_path / ".repro-static-baseline.json"
+        Baseline.from_findings(first.all_raw_findings()).save(str(baseline_path))
+
+        second = _analyze(tmp_path, baseline=Baseline.load(str(baseline_path)))
+        assert second.findings == []
+        assert len(second.baselined) == 1
+        assert second.stale_baseline == []
+        assert second.exit_code == 0
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        target = _write(tmp_path, "aco/bad.py", BAD_SET_ITER)
+        first = _analyze(tmp_path)
+        baseline = Baseline.from_findings(first.all_raw_findings())
+
+        # Unrelated lines above the violation do not invalidate the entry.
+        target.write_text("import os\n\n\n" + BAD_SET_ITER)
+        drifted = _analyze(tmp_path, baseline=baseline)
+        assert drifted.findings == []
+        assert len(drifted.baselined) == 1
+
+    def test_fixed_finding_becomes_stale_entry(self, tmp_path):
+        target = _write(tmp_path, "aco/bad.py", BAD_SET_ITER)
+        baseline = Baseline.from_findings(_analyze(tmp_path).all_raw_findings())
+
+        target.write_text("def f(items):\n    for x in sorted(items):\n        pass\n")
+        fixed = _analyze(tmp_path, baseline=baseline)
+        assert fixed.findings == []
+        assert fixed.baselined == []
+        assert len(fixed.stale_baseline) == 1
+
+    def test_editing_the_violating_line_resurfaces_it(self, tmp_path):
+        target = _write(tmp_path, "aco/bad.py", BAD_SET_ITER)
+        baseline = Baseline.from_findings(_analyze(tmp_path).all_raw_findings())
+
+        target.write_text("def f(items):\n    for x in set(list(items)):\n        pass\n")
+        edited = _analyze(tmp_path, baseline=baseline)
+        assert [f.rule_id for f in edited.findings] == ["DET-002"]
+
+    def test_saved_file_is_byte_stable(self, tmp_path):
+        _write(tmp_path, "aco/bad.py", BAD_SET_ITER)
+        report = _analyze(tmp_path)
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        Baseline.from_findings(report.all_raw_findings()).save(str(a))
+        Baseline.from_findings(report.all_raw_findings()).save(str(b))
+        assert a.read_bytes() == b.read_bytes()
+        payload = json.loads(a.read_text())
+        assert payload["version"] == 1
+
+    def test_assert_shrunk(self, tmp_path):
+        _write(tmp_path, "aco/bad.py", BAD_SET_ITER)
+        _write(tmp_path, "aco/also_bad.py", BAD_SET_ITER)
+        full = Baseline.from_findings(_analyze(tmp_path).all_raw_findings())
+        half = Baseline(full.entries[:1])
+        assert assert_shrunk(full, half) == []
+        grown = assert_shrunk(half, full)
+        assert len(grown) == 1
+
+
+class TestReporters:
+    def _report(self, tmp_path):
+        _write(tmp_path, "aco/bad.py", BAD_SET_ITER)
+        return _analyze(tmp_path)
+
+    def test_text_lists_findings_and_summary(self, tmp_path):
+        text = render_text(self._report(tmp_path))
+        assert "DET-002" in text
+        assert "1 finding(s)" in text
+
+    def test_text_clean_summary(self, tmp_path):
+        _write(tmp_path, "viz/ok.py", "x = 1\n")
+        text = render_text(_analyze(tmp_path))
+        assert "static analysis: clean" in text
+
+    def test_json_structure(self, tmp_path):
+        payload = json.loads(render_json(self._report(tmp_path)))
+        assert payload["exit_code"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "DET-002"
+        assert finding["fingerprint"]
+        assert finding["path"] == "aco/bad.py"
+
+    def test_sarif_structure(self, tmp_path):
+        payload = json.loads(render_sarif(self._report(tmp_path)))
+        assert payload["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in payload["$schema"]
+        (run,) = payload["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro.analysis.static"
+        declared = {r["id"] for r in driver["rules"]}
+        assert set(rule_ids()) <= declared
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET-002"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        assert result["partialFingerprints"]["reproStatic/v1"]
