@@ -31,6 +31,7 @@ from ..heuristics.luc import LastUseCountHeuristic
 from ..ir.registers import RegisterClass
 from ..machine.model import MachineModel
 from ..obs.context import region_trace
+from ..obs.record import get_recorder
 from ..resilience.checkpoint import RegionCheckpoint
 from ..resilience.log import get_resilience_log
 from ..resilience.watchdog import DeadlineBudget
@@ -553,6 +554,19 @@ class SequentialACOScheduler:
             pass1=pass1,
             pass2=pass2,
         )
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.record_schedule(
+                "search",
+                region=ddg.region.name,
+                seed=seed,
+                scheduler=self.name,
+                backend="sequential",
+                order=list(schedule.order),
+                cycles=list(schedule.cycles),
+                length=schedule.length,
+                rp_cost=result.rp_cost_value,
+            )
         if self.verify_enabled:
             report = verify_order(ddg, best_order)
             report.merge(

@@ -15,11 +15,20 @@ reused:
 ``DIV-``  lockstep-divergence hazards in the vectorized hot path
 ``ACC-``  simulated-time accounting discipline
 ``LAY-``  import-layering contract between packages
+``OBS-``  observability discipline (all events via Telemetry.emit)
 ``SYN-``  reserved for the engine (unparsable files)
 ========  ============================================================
 """
 
-from . import accounting, determinism, divergence, layering, legacy, rng_discipline
+from . import (
+    accounting,
+    determinism,
+    divergence,
+    layering,
+    legacy,
+    observability,
+    rng_discipline,
+)
 
 __all__ = [
     "accounting",
@@ -27,5 +36,6 @@ __all__ = [
     "divergence",
     "layering",
     "legacy",
+    "observability",
     "rng_discipline",
 ]

@@ -1,0 +1,84 @@
+"""``OBS-501`` — telemetry events go through ``Telemetry.emit``.
+
+The telemetry schema's guarantees — monotonic ``seq``, ``v`` version
+stamp, ambient trace-context stamping, event validation — all live in one
+funnel: :meth:`repro.telemetry.core.Telemetry.emit`. A hand-rolled event
+dict written straight to a sink bypasses every one of them: it carries no
+sequence number (breaking causal ordering and the differ's bisection), no
+trace correlation, and no schema check. The run-bundle differ and the
+metrics aggregator both key on those envelope fields, so an unfunneled
+event is invisible to them at best and corrupts the trace at worst.
+
+Designated owner (exempt): ``telemetry/core.py``, where ``emit`` builds
+the envelope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from ..core import Finding, FileContext, Rule, register
+
+#: The envelope keys only Telemetry.emit may stamp.
+_ENVELOPE_KEYS = frozenset({"v", "seq", "event"})
+
+#: Module paths allowed to build the envelope by hand.
+_OWNER_MODULES = frozenset({"telemetry/core.py"})
+
+
+def _literal_keys(node: ast.Dict) -> Set[str]:
+    return {
+        key.value
+        for key in node.keys
+        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+    }
+
+
+@register
+class HandRolledTelemetryEventRule(Rule):
+    rule_id = "OBS-501"
+    name = "hand-rolled-telemetry-event"
+    severity = "error"
+    summary = (
+        "telemetry event dict built outside Telemetry.emit (hand-rolled "
+        "envelope or raw sink write)"
+    )
+    rationale = (
+        "Telemetry.emit is the only constructor that stamps the schema "
+        "version, the monotonic seq, and the ambient trace context, then "
+        "validates the record. An event dict assembled by hand and handed "
+        "to a sink skips all of that: it breaks the differ's "
+        "prefix-bisection over seq, escapes the metrics aggregator's "
+        "handlers, and fragments trace correlation. Emit through "
+        "Telemetry.emit (or extend it) instead."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_rel in _OWNER_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Dict):
+                if _ENVELOPE_KEYS <= _literal_keys(node):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "dict literal spells the telemetry envelope "
+                        "('v'/'seq'/'event'); only Telemetry.emit may "
+                        "build event records",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "write"
+                and node.args
+                and isinstance(node.args[0], ast.Dict)
+                and "event" in _literal_keys(node.args[0])
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    ".write() of a hand-rolled event dict; route it "
+                    "through Telemetry.emit so it gets a seq, a version "
+                    "stamp, and trace context",
+                )

@@ -14,7 +14,9 @@ Typical CI invocation::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import ExitStack
 from typing import List, Optional
 
 from ..errors import BenchError, ReproError
@@ -65,6 +67,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list available benches and exit"
     )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        default=None,
+        help="append this run's summary (git rev + fingerprint + metric "
+        "values, no wall clock) to a BENCH_history.jsonl trajectory and "
+        "print its trend report",
+    )
     return parser
 
 
@@ -81,14 +91,44 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     scale = SCALES[args.scale]
     profiler = SpanProfiler()
-    telemetry = Telemetry(collect_metrics=True)
+    # REPRO_RECORD captures the bench run as a diffable bundle — the same
+    # hook contract as REPRO_TRACE/REPRO_PROFILE (env-only, no new flag).
+    record_path = os.environ.get("REPRO_RECORD")  # repro: noqa[DET-003]
+    recorder = None
+    if record_path:
+        from ..obs.record import RunRecorder, recording_scope
+
+        recorder = RunRecorder(
+            draws=os.environ.get("REPRO_RECORD_DRAWS", "digest")  # repro: noqa[DET-003]
+        )
+        telemetry = Telemetry(sink=recorder.sink, collect_metrics=True)
+    else:
+        telemetry = Telemetry(collect_metrics=True)
     try:
-        with telemetry_session(telemetry), profile_session(profiler):
+        with ExitStack() as stack:
+            stack.enter_context(telemetry_session(telemetry))
+            stack.enter_context(profile_session(profiler))
+            if recorder is not None:
+                stack.enter_context(recording_scope(recorder))
             context = ExperimentContext(scale, telemetry=telemetry)
             payloads = run_benches(context, names=args.bench)
+        if recorder is not None:
+            from ..obs.record import span_tree_payload
+
+            recorder.set_spans(span_tree_payload(profiler.root))
+            recorder.save(record_path)
+            print("recorded run bundle at %s" % record_path)
         for payload in payloads:
             path = write_bench(args.out, payload)
             print("wrote %s (%d metrics)" % (path, len(payload["metrics"])))
+
+        if args.history:
+            from .history import append_history, load_history, render_trend
+
+            append_history(args.history, payloads)
+            entries, _skipped = load_history(args.history)
+            print("appended history entry #%d to %s" % (len(entries), args.history))
+            print(render_trend(entries, scale=args.scale), end="")
 
         if args.baseline:
             baseline = load_bench_dir(args.baseline)

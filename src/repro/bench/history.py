@@ -1,0 +1,170 @@
+"""Benchmark trajectory: append-only ``BENCH_history.jsonl``.
+
+Every ``python -m repro.bench --history PATH`` run appends one line
+summarizing the run — git revision, cost-model digest, scale, and every
+bench metric value — so the perf trajectory accumulates across commits
+instead of living only in the latest ``BENCH_*.json``. Entries are
+wall-clock-free: two history appends of the same tree at the same scale
+are byte-identical, and the ordering *is* the chronology (append order =
+run order), matching the repo's no-timestamps discipline.
+
+``python -m repro.bench.history PATH`` renders a tiny trend report:
+latest entry vs. the oldest comparable one, flagging moves against each
+metric's gated direction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Version stamp of one history line.
+HISTORY_SCHEMA = 1
+
+#: Default history file name (appended next to the bench --out directory).
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+
+
+def history_entry(payloads: Sequence[Dict]) -> Dict:
+    """One history line summarizing a bench run's payloads.
+
+    Carries the shared fingerprint identity (git revision + cost-model
+    digest + scale) and the full metric dict of every bench — value, unit
+    and gating direction — but no wall-clock fields.
+    """
+    fingerprint: Dict = payloads[0].get("fingerprint", {}) if payloads else {}
+    return {
+        "history_schema": HISTORY_SCHEMA,
+        "scale": payloads[0].get("scale") if payloads else None,
+        "git": fingerprint.get("git"),
+        "cost_model_digest": fingerprint.get("cost_model_digest"),
+        "benches": {
+            p["name"]: {
+                name: dict(spec) for name, spec in sorted(p["metrics"].items())
+            }
+            for p in payloads
+        },
+    }
+
+
+def append_history(path: str, payloads: Sequence[Dict]) -> Dict:
+    """Append one :func:`history_entry` line to ``path``; returns the entry."""
+    entry = history_entry(payloads)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True))
+        handle.write("\n")
+    return entry
+
+
+def load_history(path: str) -> Tuple[List[Dict], int]:
+    """Read a history file leniently: ``(entries, skipped_lines)``."""
+    entries: List[Dict] = []
+    skipped = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if isinstance(entry, dict) and "benches" in entry:
+                entries.append(entry)
+            else:
+                skipped += 1
+    return entries, skipped
+
+
+def _short_git(entry: Dict) -> str:
+    git = entry.get("git")
+    return str(git)[:10] if git else "(no git)"
+
+
+def render_trend(entries: Sequence[Dict], scale: Optional[str] = None) -> str:
+    """Latest entry vs. the oldest same-scale one, per gated metric.
+
+    Metrics with direction ``info`` are skipped; a move against the gated
+    direction is flagged with ``!``.
+    """
+    if scale is not None:
+        entries = [e for e in entries if e.get("scale") == scale]
+    if not entries:
+        return "(no history entries)\n"
+    latest = entries[-1]
+    baseline = next(
+        (e for e in entries if e.get("scale") == latest.get("scale")), latest
+    )
+    lines = [
+        "bench history: %d entr%s at scale %r, %s .. %s"
+        % (
+            len(entries),
+            "y" if len(entries) == 1 else "ies",
+            latest.get("scale"),
+            _short_git(baseline),
+            _short_git(latest),
+        )
+    ]
+    for bench in sorted(latest.get("benches", {})):
+        new_metrics = latest["benches"][bench]
+        old_metrics = baseline.get("benches", {}).get(bench, {})
+        for name in sorted(new_metrics):
+            spec = new_metrics[name]
+            direction = spec.get("direction", "info")
+            if direction == "info":
+                continue
+            new_value = spec.get("value")
+            old_spec = old_metrics.get(name, {})
+            old_value = old_spec.get("value")
+            label = "%s.%s" % (bench, name)
+            if old_value in (None, new_value) or latest is baseline:
+                lines.append(
+                    "  %-44s %12.4g %s [%s]"
+                    % (label, new_value, spec.get("unit", ""), direction)
+                )
+                continue
+            delta = new_value - old_value
+            pct = (100.0 * delta / old_value) if old_value else float("inf")
+            worse = (direction == "lower" and delta > 0) or (
+                direction == "higher" and delta < 0
+            )
+            lines.append(
+                "  %-44s %12.4g -> %-12.4g (%+.2f%%) [%s]%s"
+                % (label, old_value, new_value, pct, direction,
+                   "  !" if worse else "")
+            )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.history",
+        description="Render the trend report of a BENCH_history.jsonl file.",
+    )
+    parser.add_argument("history", help="path to a BENCH_history.jsonl file")
+    parser.add_argument(
+        "--scale", default=None, help="restrict the trend to one scale"
+    )
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.history):
+        print("error: no history file at %s" % args.history, file=sys.stderr)
+        return 2
+    entries, skipped = load_history(args.history)
+    if skipped:
+        print(
+            "warning: skipped %d malformed history line(s)" % skipped,
+            file=sys.stderr,
+        )
+    print(render_trend(entries, scale=args.scale), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

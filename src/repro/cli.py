@@ -92,6 +92,15 @@ def main(argv: List[str] = None) -> int:
         "the end",
     )
     parser.add_argument(
+        "--record",
+        metavar="DIR",
+        default=None,
+        help="record the run as a canonical bundle directory (events, "
+        "metrics, schedules, RNG draw digests) diffable with "
+        "python -m repro.obs.diff; also honours REPRO_RECORD and "
+        "REPRO_RECORD_DRAWS=digest|full|off",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="profile the run's simulated time with the span profiler and "
@@ -250,11 +259,22 @@ def main(argv: List[str] = None) -> int:
     obs_requested = bool(
         args.watch or args.openmetrics or args.obs_snapshot or args.perfetto
     )
+    import os
+
+    record_path = args.record or os.environ.get("REPRO_RECORD")  # repro: noqa[DET-003]
     stack = ExitStack()
     telemetry = None
     aggregator = None
     perfetto_sink = None
-    if args.trace or args.metrics or obs_requested:
+    recorder = None
+    if record_path:
+        from .obs.record import RunRecorder, recording_scope
+
+        recorder = RunRecorder(
+            draws=os.environ.get("REPRO_RECORD_DRAWS", "digest")  # repro: noqa[DET-003]
+        )
+        stack.enter_context(recording_scope(recorder))
+    if args.trace or args.metrics or obs_requested or recorder is not None:
         from .telemetry import (
             JSONLSink,
             MemorySink,
@@ -279,6 +299,8 @@ def main(argv: List[str] = None) -> int:
             if args.perfetto:
                 perfetto_sink = MemorySink()
                 sinks.append(perfetto_sink)
+        if recorder is not None:
+            sinks.append(recorder.sink)
         sink = None
         if len(sinks) == 1:
             sink = sinks[0]
@@ -352,6 +374,14 @@ def main(argv: List[str] = None) -> int:
         if args.profile_stacks:
             write_collapsed(args.profile_stacks, profiler.root)
             print("[collapsed stacks written to %s]" % args.profile_stacks)
+
+    if recorder is not None:
+        if profiler is not None:
+            from .obs.record import span_tree_payload
+
+            recorder.set_spans(span_tree_payload(profiler.root))
+        recorder.save(record_path)
+        print("[run bundle written to %s]" % record_path)
 
     if resilience_log.eventful:
         # Degraded-but-shipped compiles warn and exit 0 (every region got

@@ -268,6 +268,11 @@ class MetricsAggregator:
         self._inc("resilience.faults.total")
         self._inc("resilience.faults.%s" % record["fault_class"])
         self._observe("fault.lost_seconds", record["seconds"])
+        # Attribute burned seconds to the engine that burned them — fault
+        # events carry the attempt's backend (the ladder's current rung, or
+        # the scheduler backend on single-attempt faults).
+        backend = record.get("backend") or record.get("rung") or "unknown"
+        self._inc("kernel.lost_seconds.%s" % backend, record["seconds"])
 
     def _on_retry(self, record: Dict) -> None:
         self._inc("resilience.retries")

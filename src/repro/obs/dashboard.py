@@ -95,6 +95,21 @@ def render_dashboard(
                 % (backend, _us(backends[backend]), 100.0 * share, _bar(share))
             )
 
+    lost = {
+        name.rsplit(".", 1)[-1]: value
+        for name, value in c.items()
+        if name.startswith("kernel.lost_seconds.")
+    }
+    total_lost = sum(lost.values())
+    if total_lost > 0:
+        lines.append(_rule("fault-lost seconds by backend"))
+        for backend in sorted(lost):
+            share = lost[backend] / total_lost
+            lines.append(
+                "  %-12s %12s  %5.1f%%  |%s|"
+                % (backend, _us(lost[backend]), 100.0 * share, _bar(share))
+            )
+
     decisions = sorted(
         (name.rsplit(".", 1)[-1], int(value))
         for name, value in c.items()

@@ -33,6 +33,7 @@ from ..gpusim.device import GPUDevice
 from ..gpusim.faults import FaultPlan
 from ..machine.model import MachineModel
 from ..obs.context import region_trace
+from ..obs.record import get_recorder
 from ..profile import get_profiler
 from ..resilience.log import get_resilience_log
 from ..schedule.schedule import Schedule
@@ -223,6 +224,7 @@ class MultiRegionScheduler:
                 fault_class=exc.fault_class,
                 attempt=0,
                 seconds=exc.seconds,
+                backend=scheduler.backend,
             )
             if tele.collect_metrics:
                 tele.metrics.counter("resilience.faults." + exc.fault_class).inc()
@@ -274,6 +276,16 @@ class MultiRegionScheduler:
                 )
                 results.append(result)
                 errors.append(error)
+        recorder = get_recorder()
+        if recorder is not None:
+            for item, b, error in zip(items, blocks, errors):
+                recorder.record_schedule(
+                    "batch",
+                    region=item.ddg.region.name,
+                    seed=item.seed,
+                    blocks=b,
+                    error=error,
+                )
 
         cost = self.device.cost
         launch = cost.launch_overhead

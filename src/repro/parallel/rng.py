@@ -44,6 +44,7 @@ from typing import Union
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs import record as _record
 
 SeedLike = Union[int, np.random.Generator, "AntRngStreams"]
 
@@ -106,11 +107,24 @@ class AntRngStreams:
 
     def uniform_ants(self) -> np.ndarray:
         """One U[0,1) draw from every ant's stream, in ant-slot order."""
-        return np.array([g.random() for g in self.generators], dtype=np.float64)
+        values = np.array([g.random() for g in self.generators], dtype=np.float64)
+        recorder = _record.get_recorder()
+        if recorder is not None:
+            # Observed *after* the streams advanced, so the recorded
+            # sequence is exactly what the colony consumed; with no ambient
+            # recorder the draw path is untouched (recording off stays
+            # bit-identical).
+            for ant, value in enumerate(values):
+                recorder.observe_draw(ant, float(value))
+        return values
 
     def uniform_ant(self, ant: int) -> float:
         """One U[0,1) draw from a single ant's stream (scalar engines)."""
-        return float(self.generators[ant].random())
+        value = float(self.generators[ant].random())
+        recorder = _record.get_recorder()
+        if recorder is not None:
+            recorder.observe_draw(ant, value)
+        return value
 
     def uniform_wavefront_leaders(
         self, num_wavefronts: int, wavefront_size: int
@@ -121,10 +135,15 @@ class AntRngStreams:
                 "wavefront geometry %dx%d does not cover %d ant streams"
                 % (num_wavefronts, wavefront_size, self.num_ants)
             )
-        return np.array(
+        values = np.array(
             [
                 self.generators[w * wavefront_size].random()
                 for w in range(num_wavefronts)
             ],
             dtype=np.float64,
         )
+        recorder = _record.get_recorder()
+        if recorder is not None:
+            for w in range(num_wavefronts):
+                recorder.observe_draw(w * wavefront_size, float(values[w]))
+        return values

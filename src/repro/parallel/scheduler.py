@@ -43,6 +43,7 @@ from ..heuristics.list_scheduler import schedule_in_order
 from ..ir.registers import RegisterClass
 from ..machine.model import MachineModel
 from ..obs.context import region_trace
+from ..obs.record import get_recorder
 from ..profile import get_profiler
 from ..resilience.checkpoint import RegionCheckpoint
 from ..resilience.log import get_resilience_log
@@ -586,6 +587,9 @@ class ParallelACOScheduler:
                     transfer,
                     attempt,
                 )
+            recorder = get_recorder()
+            if recorder is not None:
+                recorder.begin_iteration(region.name, 1, tracker.iterations)
             result = colony.run_rp_iteration(pheromone.tau)
             accounting.charge_uniform_cycles(
                 self._iteration_overhead_cycles(data, colony.num_ants)
@@ -745,6 +749,9 @@ class ParallelACOScheduler:
                     transfer,
                     attempt,
                 )
+            recorder = get_recorder()
+            if recorder is not None:
+                recorder.begin_iteration(region.name, 2, tracker.iterations)
             result = colony.run_ilp_iteration(pheromone.tau, target, max_length)
             accounting.charge_uniform_cycles(
                 self._iteration_overhead_cycles(data, colony.num_ants)
@@ -931,6 +938,19 @@ class ParallelACOScheduler:
             pass1=pass1,
             pass2=pass2,
         )
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.record_schedule(
+                "search",
+                region=ddg.region.name,
+                seed=seed,
+                scheduler=self.name,
+                backend=self.backend,
+                order=list(schedule.order),
+                cycles=list(schedule.cycles),
+                length=schedule.length,
+                rp_cost=result.rp_cost_value,
+            )
         if self.verify_enabled:
             report = verify_order(ddg, best_order)
             report.merge(

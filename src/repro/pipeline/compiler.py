@@ -32,6 +32,7 @@ from ..errors import PipelineError, RegionUnrecoverable
 from ..heuristics.amd_max_occupancy import AMDMaxOccupancyScheduler
 from ..machine.model import MachineModel
 from ..obs.context import region_trace
+from ..obs.record import get_recorder
 from ..parallel.scheduler import ParallelACOScheduler
 from ..profile import get_profiler
 from ..resilience.ladder import schedule_with_resilience
@@ -226,6 +227,19 @@ class CompilePipeline:
                 self._verify_region(tele, ddg, outcome)
             if tele.active:
                 self._publish_region(tele, outcome)
+            recorder = get_recorder()
+            if recorder is not None:
+                recorder.record_schedule(
+                    "shipped",
+                    region=outcome.region_name,
+                    seed=seed,
+                    scheduler=self.scheduler_name,
+                    decision=outcome.decision.name.lower(),
+                    order=list(outcome.schedule.order),
+                    cycles=list(outcome.schedule.cycles),
+                    length=outcome.final.length,
+                    rp_cost=outcome.final.rp_cost,
+                )
         return outcome
 
     def _verify_region(self, tele: Telemetry, ddg: DDG, outcome: RegionOutcome) -> None:

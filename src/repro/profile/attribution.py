@@ -19,7 +19,7 @@ profiler existed still attribute their cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 #: Cycle-category keys of ``KernelAccounting.charge_totals()``, in stable
 #: report order; attribute names drop the ``_cycles`` suffix.
@@ -115,7 +115,26 @@ def kernel_phase_rollup(records: Iterable[Dict]) -> Dict[int, PhaseRollup]:
     return rollups
 
 
-def render_kernel_rollup(rollups: Dict[int, PhaseRollup]) -> str:
+def fault_loss_rollup(records: Iterable[Dict]) -> Dict[str, float]:
+    """Seconds burned by injected faults, keyed by the attempt's backend.
+
+    ``fault`` events carry the backend of the attempt that burned the time
+    (the resilience ladder's current rung); older traces without the label
+    land under ``"unknown"``, mirroring the kernel-launch fallback.
+    """
+    lost: Dict[str, float] = {}
+    for record in records:
+        if record.get("event") != "fault":
+            continue
+        backend = record.get("backend") or record.get("rung") or "unknown"
+        lost[backend] = lost.get(backend, 0.0) + record["seconds"]
+    return lost
+
+
+def render_kernel_rollup(
+    rollups: Dict[int, PhaseRollup],
+    lost: Optional[Dict[str, float]] = None,
+) -> str:
     """A text table of the per-phase launch-cost rollups."""
     if not rollups:
         return "(no kernel_launch events — nothing to attribute)\n"
@@ -159,4 +178,12 @@ def render_kernel_rollup(rollups: Dict[int, PhaseRollup]) -> str:
         )
         if phase.batches:
             lines.append("  execution batches: %d" % phase.batches)
+    if lost:
+        total_lost = sum(lost.values())
+        mix = ", ".join(
+            "%s %.1f us (%.0f%%)"
+            % (name, seconds * 1e6, 100.0 * seconds / total_lost)
+            for name, seconds in sorted(lost.items(), key=lambda kv: (-kv[1], kv[0]))
+        )
+        lines.append("fault-lost seconds by backend: %s" % mix)
     return "\n".join(lines) + "\n"

@@ -231,6 +231,43 @@ def chaos_sweep(
     return report
 
 
+def bitcheck(
+    seeds: Sequence[int],
+    sizes: Sequence[int],
+    out_dir: str,
+) -> Tuple[bool, Dict]:
+    """Record the sweep twice and diff the bundles for bit identity.
+
+    Chaos recovery paths (retries, checkpoint resumes, engine downgrades)
+    must themselves be deterministic per seed: two recordings of the same
+    sweep have to produce byte-identical run bundles. On a mismatch the
+    differ's first-divergence report names the exact event/iteration/draw
+    where the recovery paths forked.
+
+    Returns ``(identical, diff_report)``; the bundles (and, on mismatch,
+    ``first-divergence.json``) are left in ``out_dir`` for CI artifacts.
+    """
+    import os
+
+    from ..obs.diff import diff_bundles, write_report
+    from ..obs.record import RunRecorder, recording_scope
+    from ..telemetry import Telemetry, telemetry_session
+
+    paths = []
+    for label in ("a", "b"):
+        path = os.path.join(out_dir, "chaos-%s" % label)
+        recorder = RunRecorder(draws="digest")
+        telemetry = Telemetry(sink=recorder.sink)
+        with telemetry_session(telemetry), recording_scope(recorder):
+            chaos_sweep(seeds=seeds, sizes=sizes)
+        recorder.save(path)
+        paths.append(path)
+    report = diff_bundles(paths[0], paths[1])
+    if not report["identical"]:
+        write_report(report, os.path.join(out_dir, "first-divergence.json"))
+    return bool(report["identical"]), report
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     import argparse
 
@@ -252,6 +289,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--skip-proofs",
         action="store_true",
         help="run only the mixed-rate sweep (skip the rate-1.0 proofs)",
+    )
+    parser.add_argument(
+        "--bitcheck",
+        metavar="DIR",
+        default=None,
+        help="additionally record the sweep twice into DIR and diff the "
+        "run bundles; a mismatch writes DIR/first-divergence.json and "
+        "fails the harness",
     )
     args = parser.parse_args(argv)
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
@@ -276,6 +321,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print("[chaos] mixed-rate sweep: %s" % sweep.summary())
     if not sweep.all_valid:
         failed = True
+
+    if args.bitcheck:
+        import os
+
+        os.makedirs(args.bitcheck, exist_ok=True)
+        identical, report = bitcheck(seeds, sizes, args.bitcheck)
+        if identical:
+            print("[chaos] bitcheck: recorded sweeps byte-identical")
+        else:
+            from ..obs.diff import render_report
+
+            print("[chaos] FAIL: recorded sweeps diverged")
+            print(render_report(report), end="")
+            failed = True
 
     print("[chaos] %s" % ("FAILED" if failed else "OK"))
     return 1 if failed else 0

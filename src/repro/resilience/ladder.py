@@ -216,6 +216,7 @@ def _run_ladder(
                     attempt=state.number,
                     seed=attempt_seed,
                     resumed=resumed,
+                    backend=rung,
                     **attempt_span("attempt%d" % state.number),
                 )
                 if tele.collect_metrics:
@@ -244,6 +245,7 @@ def _run_ladder(
                     attempt=state.number,
                     seconds=exc.seconds,
                     rung=rung,
+                    backend=rung,
                     **attempt_span("attempt%d" % state.number),
                 )
                 if tele.collect_metrics:

@@ -205,6 +205,7 @@ def main(argv=None) -> int:
         print(summarize_trace(args.trace, top=args.top), end="")
         if args.kernels:
             from ..profile.attribution import (
+                fault_loss_rollup,
                 kernel_phase_rollup,
                 render_kernel_rollup,
             )
@@ -212,7 +213,12 @@ def main(argv=None) -> int:
 
             records, _skipped = _read(args.trace)
             print()
-            print(render_kernel_rollup(kernel_phase_rollup(records)), end="")
+            print(
+                render_kernel_rollup(
+                    kernel_phase_rollup(records), lost=fault_loss_rollup(records)
+                ),
+                end="",
+            )
     except (OSError, TelemetryError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2

@@ -76,6 +76,51 @@ def _event_counts(backend, ddg, seed):
     return Counter(r["event"] for r in sink.records)
 
 
+def _explain_divergence(a, b, ddg, seed):
+    """Re-run both backends recorded at full draw level and localize.
+
+    Returns the differ's human-readable first-divergence report; also
+    writes the JSON report into ``REPRO_DIVERGENCE_DIR`` when set (CI
+    uploads that directory as the failure artifact).
+    """
+    import os
+    import tempfile
+
+    from repro.obs.diff import diff_bundles, render_report, write_report
+    from repro.obs.record import RunRecorder, recording_scope
+
+    out_dir = os.environ.get("REPRO_DIVERGENCE_DIR")
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    else:
+        out_dir = tempfile.mkdtemp(prefix="repro-divergence-")
+    paths = []
+    for backend in (a, b):
+        recorder = RunRecorder(draws="full")
+        with recording_scope(recorder):
+            _run(backend, ddg, seed, telemetry=Telemetry(sink=recorder.sink))
+        paths.append(
+            recorder.save(
+                os.path.join(out_dir, "%s-vs-%s-%s" % (a, b, backend))
+            )
+        )
+    report = diff_bundles(paths[0], paths[1])
+    write_report(
+        report, os.path.join(out_dir, "first-divergence-%s-vs-%s.json" % (a, b))
+    )
+    return render_report(report)
+
+
+def _assert_bit_identical(a, b, ddg, seed):
+    """Fingerprint equality with first-divergence localization on failure."""
+    if _fingerprint(_run(a, ddg, seed)) == _fingerprint(_run(b, ddg, seed)):
+        return
+    pytest.fail(
+        "backends %r and %r diverged (seed %d):\n%s"
+        % (a, b, seed, _explain_divergence(a, b, ddg, seed))
+    )
+
+
 # Module-level rather than a TestBackendPairs method: hypothesis treats
 # each class instance as a separate executor, and the backend_pair
 # parametrization would trip HealthCheck.differing_executors.
@@ -88,9 +133,7 @@ def _event_counts(backend, ddg, seed):
 def test_hypothesis_regions_bit_identical(backend_pair, region):
     a, b = backend_pair
     ddg = DDG(region)
-    assert _fingerprint(_run(a, ddg, seed=7)) == _fingerprint(
-        _run(b, ddg, seed=7)
-    )
+    _assert_bit_identical(a, b, ddg, seed=7)
 
 
 class TestBackendPairs:
@@ -98,9 +141,7 @@ class TestBackendPairs:
     def test_golden_regions_bit_identical(self, backend_pair, spec):
         a, b = backend_pair
         ddg = DDG(make_region(*spec))
-        assert _fingerprint(_run(a, ddg, seed=11)) == _fingerprint(
-            _run(b, ddg, seed=11)
-        )
+        _assert_bit_identical(a, b, ddg, seed=11)
 
     @pytest.mark.parametrize("spec", GOLDEN_REGIONS[:1], ids=lambda s: s[0])
     def test_telemetry_event_counts_match(self, backend_pair, spec):

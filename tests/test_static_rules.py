@@ -307,3 +307,49 @@ class TestLAY401ImportLayering:
             },
         )
         assert hits == []
+
+
+class TestOBS501HandRolledEvent:
+    def test_positive_envelope_dict_literal(self, tmp_path):
+        hits = _scan(
+            tmp_path,
+            {
+                "resilience/bad.py": (
+                    "def publish(sink, n):\n"
+                    "    sink.write({'v': 1, 'seq': n, 'event': 'fault'})\n"
+                )
+            },
+        )
+        assert ("OBS-501", "resilience/bad.py") in hits
+
+    def test_positive_raw_sink_write_of_event_dict(self, tmp_path):
+        hits = _scan(
+            tmp_path,
+            {
+                "pipeline/bad.py": (
+                    "def publish(sink, region):\n"
+                    "    sink.write({'event': 'region_end', 'region': region})\n"
+                )
+            },
+        )
+        assert hits == [("OBS-501", "pipeline/bad.py")]
+
+    def test_negative_owner_module_and_plain_dicts(self, tmp_path):
+        hits = _scan(
+            tmp_path,
+            {
+                # The sanctioned funnel builds the envelope by hand.
+                "telemetry/core.py": (
+                    "def emit(sink, seq, event):\n"
+                    "    record = {'v': 1, 'seq': seq, 'event': event}\n"
+                    "    sink.write(record)\n"
+                ),
+                # Non-event dicts and non-dict writes are fine anywhere.
+                "obs/ok.py": (
+                    "def save(handle, payload):\n"
+                    "    handle.write({'kind': 'schedule', 'order': payload})\n"
+                    "    return {'v': 1, 'seq': 2}\n"
+                ),
+            },
+        )
+        assert all(rule != "OBS-501" for rule, _ in hits)
