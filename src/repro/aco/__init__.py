@@ -17,6 +17,14 @@ from .pheromone import PheromoneTable
 from .selection import select_index, roulette_index
 from .ant import AntResult, ConstructionStats, construct_order, construct_cycles
 from .stalls import OptionalStallHeuristic
+from .strategy import (
+    STRATEGIES,
+    AntSystemStrategy,
+    MaxMinAntSystem,
+    make_strategy,
+    resolve_strategy,
+    strategy_from_env,
+)
 from .sequential import SequentialACOScheduler, ACOResult, PassResult
 from .weighted import WeightedSumACOScheduler, WeightedACOResult
 
@@ -29,6 +37,12 @@ __all__ = [
     "construct_order",
     "construct_cycles",
     "OptionalStallHeuristic",
+    "STRATEGIES",
+    "AntSystemStrategy",
+    "MaxMinAntSystem",
+    "make_strategy",
+    "resolve_strategy",
+    "strategy_from_env",
     "SequentialACOScheduler",
     "ACOResult",
     "PassResult",

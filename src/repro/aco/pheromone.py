@@ -53,18 +53,37 @@ class PheromoneTable:
         np.multiply(self.tau, self.params.decay, out=self.tau)
         np.maximum(self.tau, self.params.min_pheromone, out=self.tau)
 
-    def deposit(self, order: Sequence[int], cost: float) -> None:
+    def evaporate(self) -> None:
+        """Raw dissipation (``tau *= decay``) without the Ant System floor.
+
+        MAX-MIN style updates clamp to their own ``[tau_min, tau_max]``
+        interval afterwards (:meth:`clamp`); applying the AS floor here
+        would silently override a tighter MMAS floor.
+        """
+        np.multiply(self.tau, self.params.decay, out=self.tau)
+
+    def clamp(self, lo: float, hi: float) -> None:
+        """Clamp every entry into ``[lo, hi]`` (MAX-MIN trust interval)."""
+        np.clip(self.tau, lo, hi, out=self.tau)
+
+    def reinitialize(self, value: float) -> None:
+        """Reset the whole table to ``value`` (MMAS stagnation restart)."""
+        self.tau[:] = float(value)
+
+    def deposit(self, order: Sequence[int], cost: float, cap: float = None) -> None:
         """Reinforce the links of an iteration winner with cost ``cost``.
 
         The deposit is ``deposit_scale / (1 + cost)`` per link — cheaper
         winners deposit more, and a zero-cost (LB-matching) winner deposits
-        the full scale.
+        the full scale. ``cap`` overrides the Ant System ceiling
+        (``max_pheromone``) when a strategy clamps to its own ``tau_max``.
         """
         amount = self.params.deposit / (1.0 + max(0.0, float(cost)))
+        ceiling = self.params.max_pheromone if cap is None else float(cap)
         previous = self.start_row
         for index in order:
             value = self.tau[previous, index] + amount
-            self.tau[previous, index] = min(value, self.params.max_pheromone)
+            self.tau[previous, index] = min(value, ceiling)
             previous = index
 
     def touched_entries(self) -> int:

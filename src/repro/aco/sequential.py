@@ -45,6 +45,7 @@ from .ant import AntResult, ConstructionStats, construct_cycles, construct_order
 from .pheromone import PheromoneTable
 from .seeding import launch_rng
 from .stalls import OptionalStallHeuristic
+from .strategy import make_strategy, publish_reinit, resolve_strategy, strategy_from_env
 from .termination import TerminationTracker
 
 
@@ -123,6 +124,7 @@ class SequentialACOScheduler:
         cost_model: CPUCostModel = DEFAULT_CPU_COST,
         telemetry: Optional[Telemetry] = None,
         verify: Optional[bool] = None,
+        strategy: Optional[str] = None,
     ):
         self.machine = machine
         self.params = params or ACOParams()
@@ -132,6 +134,9 @@ class SequentialACOScheduler:
         self.cost_model = cost_model
         self._telemetry = telemetry
         self._verify = verify
+        self._strategy = strategy
+        if strategy is not None:
+            resolve_strategy(strategy)  # fail fast on unknown names
 
     @property
     def telemetry(self) -> Telemetry:
@@ -142,6 +147,14 @@ class SequentialACOScheduler:
     def verify_enabled(self) -> bool:
         """Explicit ``verify`` argument, else ``REPRO_VERIFY`` (resolved late)."""
         return self._verify if self._verify is not None else verification_enabled()
+
+    @property
+    def strategy_name(self) -> str:
+        """Pheromone-update strategy: explicit argument, else
+        ``REPRO_STRATEGY``, else ``params.strategy`` (resolved late)."""
+        if self._strategy is not None:
+            return self._strategy
+        return strategy_from_env() or self.params.strategy
 
     def _publish_construction_metrics(
         self, tele: Telemetry, stats: ConstructionStats
@@ -238,7 +251,10 @@ class SequentialACOScheduler:
             result = PassResult(False, 0, best_cost, best_cost, True, 0.0)
             return best_order, best_peak, result
 
-        scope = tele.pass_scope(region.name, 1, self.name, lb_cost, best_cost)
+        strategy = make_strategy(self.strategy_name, self.params, ddg.num_instructions)
+        scope = tele.pass_scope(
+            region.name, 1, self.name, lb_cost, best_cost, strategy=strategy.name
+        )
         prof = get_profiler()
         prof.push("pass1", "pass")
         prof.charge_leaf("overhead", self.cost_model.region_overhead, "overhead")
@@ -246,7 +262,9 @@ class SequentialACOScheduler:
         pheromone = PheromoneTable(ddg.num_instructions, self.params)
         tracker = TerminationTracker(
             lower_bound=lb_cost,
-            stagnation_limit=self.params.termination_condition(len(region)),
+            stagnation_limit=strategy.stagnation_limit(
+                self.params.termination_condition(len(region))
+            ),
             best_cost=best_cost,
         )
         if resume is not None:
@@ -280,13 +298,24 @@ class SequentialACOScheduler:
                 if winner is None or result.rp_cost_value < winner.rp_cost_value:
                     winner = result
             assert winner is not None
-            pheromone.decay()
-            pheromone.deposit(winner.order, winner.rp_cost_value - lb_cost)
-            pheromone_seconds = self.cost_model.pheromone_seconds(pheromone.touched_entries())
-            ledger.charge(pheromone_seconds)
             if tracker.record_iteration(winner.rp_cost_value):
                 best_order = winner.order
                 best_peak = winner.peak
+            reinitialized = strategy.update(
+                pheromone,
+                winner_order=winner.order,
+                winner_gap=winner.rp_cost_value - lb_cost,
+                best_order=best_order,
+                best_gap=tracker.best_cost - lb_cost,
+                without_improvement=tracker.iterations_without_improvement,
+            )
+            pheromone_seconds = self.cost_model.pheromone_seconds(pheromone.touched_entries())
+            ledger.charge(pheromone_seconds)
+            if reinitialized:
+                publish_reinit(
+                    tele, region.name, 1, tracker.iterations,
+                    strategy.tau_max(tracker.best_cost - lb_cost),
+                )
             scope.iteration(float(winner.rp_cost_value), tracker.best_cost)
             if prof.enabled:
                 with prof.span("iteration", "iteration"):
@@ -362,7 +391,10 @@ class SequentialACOScheduler:
             result = PassResult(False, 0, best_length, best_length, True, 0.0)
             return best_schedule, result
 
-        scope = tele.pass_scope(region.name, 2, self.name, length_lb, best_length)
+        strategy = make_strategy(self.strategy_name, self.params, ddg.num_instructions)
+        scope = tele.pass_scope(
+            region.name, 2, self.name, length_lb, best_length, strategy=strategy.name
+        )
         ledger.charge(self.cost_model.region_overhead)
         prof = get_profiler()
         prof.push("pass2", "pass")
@@ -372,7 +404,9 @@ class SequentialACOScheduler:
         stall_heuristic = OptionalStallHeuristic(self.params, len(region))
         tracker = TerminationTracker(
             lower_bound=length_lb,
-            stagnation_limit=self.params.termination_condition(len(region)),
+            stagnation_limit=strategy.stagnation_limit(
+                self.params.termination_condition(len(region))
+            ),
             best_cost=best_length,
         )
         # Length cap from the *pass-start* best (recomputed identically on
@@ -418,26 +452,48 @@ class SequentialACOScheduler:
                 construct.charge(ant_seconds)
                 if result.alive and (winner is None or result.length < winner.length):
                     winner = result
-            pheromone.decay()
             if winner is None:
                 # Every ant violated the constraint: count a stagnant
-                # iteration; the pheromone decay alone reshapes the search.
+                # iteration; the strategy's update alone reshapes the search.
                 tracker.record_iteration(tracker.best_cost)
+                reinitialized = strategy.update_no_winner(
+                    pheromone,
+                    best_order=tuple(best_schedule.order),
+                    best_gap=tracker.best_cost - length_lb,
+                    without_improvement=tracker.iterations_without_improvement,
+                )
                 pheromone_seconds = self.cost_model.pheromone_seconds(pheromone.touched_entries())
                 ledger.charge(pheromone_seconds)
+                if reinitialized:
+                    publish_reinit(
+                        tele, region.name, 2, tracker.iterations,
+                        strategy.tau_max(tracker.best_cost - length_lb),
+                    )
                 scope.iteration(float("inf"), tracker.best_cost)
                 if prof.enabled:
                     with prof.span("iteration", "iteration"):
                         prof.charge_leaf("construct", construct.total, "construct")
                         prof.charge_leaf("pheromone", pheromone_seconds, "pheromone")
                 continue
-            pheromone.deposit(winner.order, winner.length - length_lb)
-            pheromone_seconds = self.cost_model.pheromone_seconds(pheromone.touched_entries())
-            ledger.charge(pheromone_seconds)
             if tracker.record_iteration(winner.length):
                 assert winner.cycles is not None
                 best_schedule = Schedule(region, winner.cycles)
                 best_length = winner.length
+            reinitialized = strategy.update(
+                pheromone,
+                winner_order=winner.order,
+                winner_gap=winner.length - length_lb,
+                best_order=tuple(best_schedule.order),
+                best_gap=tracker.best_cost - length_lb,
+                without_improvement=tracker.iterations_without_improvement,
+            )
+            pheromone_seconds = self.cost_model.pheromone_seconds(pheromone.touched_entries())
+            ledger.charge(pheromone_seconds)
+            if reinitialized:
+                publish_reinit(
+                    tele, region.name, 2, tracker.iterations,
+                    strategy.tau_max(tracker.best_cost - length_lb),
+                )
             scope.iteration(float(winner.length), tracker.best_cost)
             if prof.enabled:
                 with prof.span("iteration", "iteration"):

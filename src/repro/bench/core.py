@@ -320,6 +320,67 @@ def bench_obs(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
     }
 
 
+#: Scenario-diversity regions: one pinned (family, seed, size) per hostile
+#: generator family, sized to stress the advertised failure mode while
+#: staying fast at test scale (``giant`` is clipped well below its 1024
+#: default; the nightly pytest sweep covers the full-size regions).
+_SCENARIO_REGIONS = (
+    ("giant", 0, 160),
+    ("pressure_cliff", 0, 64),
+    ("long_chain", 0, 48),
+    ("fanout", 0, 96),
+)
+
+
+def bench_scenarios(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Scenario diversity: hostile-workload families under AS and MMAS.
+
+    Schedules every hostile family with both pheromone strategies on the
+    parallel scheduler and records the landing costs. Two gates fall out:
+    per-family cost regressions (a generator or strategy change that makes
+    any hostile region schedule worse), and the AS-vs-MMAS duel summary
+    (how often MMAS matches or beats the Ant System floor on rp cost).
+    Everything is pinned-seed deterministic, so the committed baseline is
+    byte-stable.
+    """
+    from ..ddg import DDG
+    from ..parallel import ParallelACOScheduler
+    from ..suite.hostile import hostile_region
+
+    strategies = ("as", "mmas")
+    schedulers = {
+        name: ParallelACOScheduler(
+            context.machine,
+            params=context.scale.aco,
+            gpu_params=context.scale.gpu,
+            strategy=name,
+        )
+        for name in strategies
+    }
+    out: Dict[str, Dict[str, object]] = {
+        "families": metric(len(_SCENARIO_REGIONS), "families"),
+    }
+    mmas_ties_or_wins = 0
+    for family, seed, size in _SCENARIO_REGIONS:
+        ddg = DDG(hostile_region(family, seed=seed, size=size))
+        costs = {}
+        for name in strategies:
+            result = schedulers[name].schedule(ddg, seed=context.scale.suite.seed)
+            costs[name] = result
+            out["%s_%s_rp_cost" % (family, name)] = metric(
+                result.rp_cost_value, "cost", "lower"
+            )
+            out["%s_%s_length" % (family, name)] = metric(
+                result.length, "cycles", "lower"
+            )
+        if costs["mmas"].rp_cost_value <= costs["as"].rp_cost_value:
+            mmas_ties_or_wins += 1
+    out["mmas_ties_or_wins_rp"] = metric(
+        mmas_ties_or_wins, "families", "higher"
+    )
+    return out
+
+
 def bench_profile(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
     """Profiler self-check plus kernel cost attribution rollups.
 
@@ -369,6 +430,7 @@ BENCHES: Dict[str, Callable[[ExperimentContext], Dict[str, Dict[str, object]]]] 
     "backend": bench_backend,
     "resilience": bench_resilience,
     "obs": bench_obs,
+    "scenarios": bench_scenarios,
     "profile": bench_profile,
 }
 

@@ -24,6 +24,11 @@ ant-construction engine (sets ``REPRO_BACKEND``). Both engines produce
 bit-identical seeded schedules; they differ in which kernel the cost
 accounting simulates (see :mod:`repro.parallel.colony`).
 
+Strategies: ``--strategy as|mmas`` selects the pheromone-update rule set
+for both schedulers (sets ``REPRO_STRATEGY``): the paper's Ant System
+("as", default) or MAX-MIN Ant System ("mmas" — clamped pheromone,
+best-only deposit, stagnation restarts; see :mod:`repro.aco.strategy`).
+
 Verification: ``--verify`` turns on the scheduler sanitizer
 (:mod:`repro.analysis`) — every shipped schedule is independently
 rechecked, DDGs are linted, and the GPU simulation runs with checked SoA
@@ -123,6 +128,14 @@ def main(argv: List[str] = None) -> int:
         "sets REPRO_BACKEND (see repro.parallel.colony)",
     )
     parser.add_argument(
+        "--strategy",
+        choices=("as", "mmas"),
+        default=None,
+        help="pheromone-update strategy for both schedulers: the paper's "
+        "Ant System ('as', default) or MAX-MIN Ant System ('mmas'); sets "
+        "REPRO_STRATEGY (see repro.aco.strategy)",
+    )
+    parser.add_argument(
         "--deadline",
         metavar="SECONDS",
         type=float,
@@ -214,6 +227,11 @@ def main(argv: List[str] = None) -> int:
         import os
 
         os.environ["REPRO_BACKEND"] = args.backend
+
+    if args.strategy:
+        import os
+
+        os.environ["REPRO_STRATEGY"] = args.strategy
 
     if (
         args.deadline is not None

@@ -24,6 +24,11 @@ SIZE_CLASSES: Tuple[Tuple[int, int], ...] = ((1, 49), (50, 99), (100, 10**9))
 #: Human-readable labels for :data:`SIZE_CLASSES`, matching the paper tables.
 SIZE_CLASS_LABELS: Tuple[str, ...] = ("1-49", "50-99", ">=100")
 
+#: Selectable pheromone-update strategies (see :mod:`repro.aco.strategy`):
+#: the paper's Ant System rules ("as", default) and MAX-MIN Ant System
+#: ("mmas": tau clamping, best-only deposit, stagnation restarts).
+STRATEGY_NAMES: Tuple[str, ...] = ("as", "mmas")
+
 
 def size_class_index(num_instructions: int) -> int:
     """Return the index of the size class containing ``num_instructions``."""
@@ -77,6 +82,19 @@ class ACOParams:
     #: long-latency load fronts (they die instead of waiting), forcing the
     #: pass-2 fallback to the stretched pass-1 schedule.
     optional_stall_budget: float = 0.5
+    #: Pheromone-update strategy: "as" (the paper's Ant System rules) or
+    #: "mmas" (MAX-MIN Ant System). Overridable per scheduler via the
+    #: constructor argument, REPRO_STRATEGY, or GPUParams.strategy.
+    strategy: str = "as"
+    #: MMAS: stagnation-limit multiplier over the paper's 1/2/3 termination
+    #: conditions. Restarts need room to fire; with the paper's limits an
+    #: MMAS pass would stop before its first reinitialization.
+    mmas_patience: int = 4
+    #: MMAS: reinitialize the table to tau_max after every this many
+    #: consecutive non-improving iterations.
+    mmas_reinit_stagnation: int = 2
+    #: MMAS: tau_min = tau_max / (scale * num_instructions).
+    mmas_tau_min_scale: float = 2.0
 
     def termination_condition(self, num_instructions: int) -> int:
         """Stagnation limit for a region of the given size (Section VI-A)."""
@@ -101,6 +119,21 @@ class ACOParams:
             raise ConfigError("sequential_ants must be >= 1")
         if self.max_iterations < 1:
             raise ConfigError("max_iterations must be >= 1")
+        if self.strategy not in STRATEGY_NAMES:
+            raise ConfigError(
+                "strategy must be one of %s, got %r"
+                % (", ".join(STRATEGY_NAMES), self.strategy)
+            )
+        if self.mmas_patience < 1:
+            raise ConfigError("mmas_patience must be >= 1")
+        if self.mmas_reinit_stagnation < 1:
+            raise ConfigError("mmas_reinit_stagnation must be >= 1")
+        if self.mmas_tau_min_scale <= 0.0:
+            raise ConfigError("mmas_tau_min_scale must be positive")
+        if self.strategy == "mmas" and self.decay >= 1.0:
+            raise ConfigError(
+                "mmas needs decay < 1 (tau_max is deposit / (1 - decay))"
+            )
 
 
 @dataclass(frozen=True)
@@ -139,6 +172,10 @@ class GPUParams:
     #: schedules; see repro.parallel.colony.BACKENDS.
     backend: str = "vectorized"
 
+    #: Per-device override of the pheromone-update strategy (see
+    #: :data:`STRATEGY_NAMES`); ``None`` inherits ``ACOParams.strategy``.
+    strategy: Optional[str] = None
+
     @property
     def wavefronts(self) -> int:
         """Total wavefronts per launch (one per block by construction)."""
@@ -161,6 +198,11 @@ class GPUParams:
         if self.backend not in ("loop", "vectorized"):
             raise ConfigError(
                 "backend must be 'loop' or 'vectorized', got %r" % (self.backend,)
+            )
+        if self.strategy is not None and self.strategy not in STRATEGY_NAMES:
+            raise ConfigError(
+                "strategy must be one of %s, got %r"
+                % (", ".join(STRATEGY_NAMES), self.strategy)
             )
 
     def without_memory_opts(self) -> "GPUParams":

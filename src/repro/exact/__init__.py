@@ -17,6 +17,26 @@ often ACO actually reaches the optimum (the paper terminates on a
 *lower bound*, which is weaker than an optimum certificate).
 """
 
-from .bnb import ExactLimits, min_pressure_order, min_length_schedule
+from .bnb import (
+    ExactLimits,
+    min_pressure_order,
+    min_register_order,
+    min_length_schedule,
+)
+from .crosscheck import (
+    CROSSCHECK_MAX_INSTRUCTIONS,
+    CrosscheckReport,
+    StrategyOutcome,
+    crosscheck,
+)
 
-__all__ = ["ExactLimits", "min_pressure_order", "min_length_schedule"]
+__all__ = [
+    "ExactLimits",
+    "min_pressure_order",
+    "min_register_order",
+    "min_length_schedule",
+    "CROSSCHECK_MAX_INSTRUCTIONS",
+    "CrosscheckReport",
+    "StrategyOutcome",
+    "crosscheck",
+]

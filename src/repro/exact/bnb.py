@@ -125,6 +125,85 @@ def min_pressure_order(
     return best_order[0], best_cost[0]
 
 
+def min_register_order(
+    ddg: DDG,
+    limits: ExactLimits = ExactLimits(),
+) -> Tuple[Tuple[int, ...], int]:
+    """The order minimizing the peak *register count*, with that count.
+
+    Chen et al.'s min-register scheduling formulation (arXiv 2303.06855):
+    minimize the maximum number of simultaneously live registers over the
+    whole order, summed across register classes — the raw-allocation view
+    of pressure, independent of any machine's APRP step weighting (which
+    is why, unlike its siblings, this solver takes no machine). Same
+    search skeleton as :func:`min_pressure_order`; only the objective
+    changes (running peak of ``sum(live per class)``).
+
+    The two optima can disagree: APRP weighting can prefer spending many
+    registers of a cheap class to save one of an expensive class. The
+    cross-check harness (:mod:`repro.exact.crosscheck`) uses this solver
+    as the *model-independent* floor.
+    """
+    limits.check_region(ddg)
+    n = ddg.num_instructions
+    region = ddg.region
+    states = [0]
+
+    best_count = [None]  # type: List[Optional[int]]
+    best_order: List[Tuple[int, ...]] = [()]
+    #: mask -> lowest running peak count seen (dominance memo).
+    seen: Dict[int, int] = {}
+
+    tracker = PressureTracker(region)
+    order: List[int] = []
+    pred_left = list(ddg.num_predecessors)
+
+    def running_count() -> int:
+        return sum(tracker.peak.values())
+
+    def dfs() -> None:
+        states[0] += 1
+        if states[0] > limits.max_states:
+            raise ExactSolverError("state budget exhausted")
+        count_now = running_count()
+        if best_count[0] is not None and count_now >= best_count[0]:
+            return
+        mask = 0
+        for i in order:
+            mask |= 1 << i
+        prior = seen.get(mask)
+        if prior is not None and prior <= count_now:
+            return
+        seen[mask] = count_now
+        if len(order) == n:
+            best_count[0] = count_now
+            best_order[0] = tuple(order)
+            return
+        ready = [i for i in range(n) if pred_left[i] == 0 and not (mask >> i) & 1]
+        ready.sort(key=lambda i: tracker.pressure_delta(region[i]))
+        for candidate in ready:
+            saved_current = dict(tracker.current)
+            saved_peak = dict(tracker.peak)
+            saved_live = dict(tracker._live)
+            saved_remaining = dict(tracker._remaining_uses)
+            tracker.schedule(region[candidate])
+            order.append(candidate)
+            for succ, _lat in ddg.successors[candidate]:
+                pred_left[succ] -= 1
+            dfs()
+            for succ, _lat in ddg.successors[candidate]:
+                pred_left[succ] += 1
+            order.pop()
+            tracker.current = saved_current
+            tracker.peak = saved_peak
+            tracker._live = saved_live
+            tracker._remaining_uses = saved_remaining
+
+    dfs()
+    assert best_count[0] is not None
+    return best_order[0], best_count[0]
+
+
 def min_length_schedule(
     ddg: DDG,
     machine: MachineModel,

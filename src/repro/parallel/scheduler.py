@@ -30,6 +30,12 @@ from ..aco.pheromone import PheromoneTable
 from ..analysis.sanitizer import ColonySanitizer, verification_enabled
 from ..analysis.verifier import verify_aco_result, verify_order
 from ..aco.sequential import PassResult
+from ..aco.strategy import (
+    make_strategy,
+    publish_reinit,
+    resolve_strategy,
+    strategy_from_env,
+)
 from ..aco.termination import TerminationTracker
 from ..config import ACOParams, GPUParams
 from ..ddg.graph import DDG
@@ -151,6 +157,7 @@ class ParallelACOScheduler:
         telemetry: Optional[Telemetry] = None,
         verify: Optional[bool] = None,
         backend: Optional[str] = None,
+        strategy: Optional[str] = None,
     ):
         self.machine = machine
         self.params = params or ACOParams()
@@ -163,6 +170,9 @@ class ParallelACOScheduler:
         self._backend = backend
         if backend is not None:
             resolve_backend(backend)  # fail fast on unknown names
+        self._strategy = strategy
+        if strategy is not None:
+            resolve_strategy(strategy)  # fail fast on unknown names
 
     @property
     def telemetry(self) -> Telemetry:
@@ -181,6 +191,19 @@ class ParallelACOScheduler:
         if self._backend is not None:
             return self._backend
         return backend_from_env() or self.gpu_params.backend
+
+    @property
+    def strategy_name(self) -> str:
+        """Pheromone-update strategy: explicit argument, else
+        ``REPRO_STRATEGY``, else the ``gpu_params.strategy`` device
+        override, else ``params.strategy`` (resolved late)."""
+        if self._strategy is not None:
+            return self._strategy
+        return (
+            strategy_from_env()
+            or self.gpu_params.strategy
+            or self.params.strategy
+        )
 
     def _publish_launch(
         self,
@@ -213,6 +236,7 @@ class ParallelACOScheduler:
             region=region_name,
             pass_index=pass_index,
             backend=colony.backend_name,
+            strategy=self.strategy_name,
             wavefronts=accounting.num_wavefronts,
             ants=colony.num_ants,
             iterations=iterations,
@@ -538,7 +562,10 @@ class ParallelACOScheduler:
             result = ParallelPassResult(False, 0, best_cost, best_cost, True, 0.0)
             return best_order, best_peak, result
 
-        scope = tele.pass_scope(region.name, 1, self.name, lb_cost, best_cost)
+        strategy = make_strategy(self.strategy_name, self.params, ddg.num_instructions)
+        scope = tele.pass_scope(
+            region.name, 1, self.name, lb_cost, best_cost, strategy=strategy.name
+        )
         self._check_launch(faulty, region.name, 1, attempt, budget)
         colony, accounting = self._make_colony(data, seed)
         transfer = self._transfer(data, colony.num_ants)
@@ -558,7 +585,9 @@ class ParallelACOScheduler:
         pheromone = PheromoneTable(ddg.num_instructions, self.params)
         tracker = TerminationTracker(
             lower_bound=lb_cost,
-            stagnation_limit=self.params.termination_condition(len(region)),
+            stagnation_limit=strategy.stagnation_limit(
+                self.params.termination_condition(len(region))
+            ),
             best_cost=best_cost,
         )
         if resume is not None:
@@ -594,12 +623,23 @@ class ParallelACOScheduler:
             accounting.charge_uniform_cycles(
                 self._iteration_overhead_cycles(data, colony.num_ants)
             )
-            pheromone.decay()
             assert result.winner_order is not None
-            pheromone.deposit(result.winner_order, result.winner_cost - lb_cost)
             if tracker.record_iteration(result.winner_cost):
                 best_order = result.winner_order
                 best_peak = result.winner_peak
+            reinitialized = strategy.update(
+                pheromone,
+                winner_order=result.winner_order,
+                winner_gap=result.winner_cost - lb_cost,
+                best_order=best_order,
+                best_gap=tracker.best_cost - lb_cost,
+                without_improvement=tracker.iterations_without_improvement,
+            )
+            if reinitialized:
+                publish_reinit(
+                    tele, region.name, 1, tracker.iterations,
+                    strategy.tau_max(tracker.best_cost - lb_cost),
+                )
             scope.iteration(float(result.winner_cost), tracker.best_cost)
             if budget is not None:
                 kernel_now = accounting.kernel_seconds()
@@ -698,7 +738,10 @@ class ParallelACOScheduler:
             result = ParallelPassResult(False, 0, best_length, best_length, True, 0.0)
             return best_schedule, result
 
-        scope = tele.pass_scope(region.name, 2, self.name, length_lb, best_length)
+        strategy = make_strategy(self.strategy_name, self.params, ddg.num_instructions)
+        scope = tele.pass_scope(
+            region.name, 2, self.name, length_lb, best_length, strategy=strategy.name
+        )
         self._check_launch(faulty, region.name, 2, attempt, budget)
         colony, accounting = self._make_colony(data, seed + 1)
         transfer = self._transfer(data, colony.num_ants)
@@ -715,7 +758,9 @@ class ParallelACOScheduler:
         pheromone = PheromoneTable(ddg.num_instructions, self.params)
         tracker = TerminationTracker(
             lower_bound=length_lb,
-            stagnation_limit=self.params.termination_condition(len(region)),
+            stagnation_limit=strategy.stagnation_limit(
+                self.params.termination_condition(len(region))
+            ),
             best_cost=best_length,
         )
         # The schedule-length cap derives from the *pass-start* best — it is
@@ -756,20 +801,42 @@ class ParallelACOScheduler:
             accounting.charge_uniform_cycles(
                 self._iteration_overhead_cycles(data, colony.num_ants)
             )
-            pheromone.decay()
             if result.winner_order is None:
                 tracker.record_iteration(tracker.best_cost)
+                reinitialized = strategy.update_no_winner(
+                    pheromone,
+                    best_order=tuple(best_schedule.order),
+                    best_gap=tracker.best_cost - length_lb,
+                    without_improvement=tracker.iterations_without_improvement,
+                )
+                if reinitialized:
+                    publish_reinit(
+                        tele, region.name, 2, tracker.iterations,
+                        strategy.tau_max(tracker.best_cost - length_lb),
+                    )
                 scope.iteration(float("inf"), tracker.best_cost)
                 if budget is not None:
                     kernel_now = accounting.kernel_seconds()
                     budget.charge(kernel_now - charged_kernel)
                     charged_kernel = kernel_now
                 continue
-            pheromone.deposit(result.winner_order, result.winner_cost - length_lb)
             if tracker.record_iteration(result.winner_cost):
                 assert result.winner_cycles is not None
                 best_schedule = Schedule(region, result.winner_cycles)
                 best_length = int(result.winner_cost)
+            reinitialized = strategy.update(
+                pheromone,
+                winner_order=result.winner_order,
+                winner_gap=result.winner_cost - length_lb,
+                best_order=tuple(best_schedule.order),
+                best_gap=tracker.best_cost - length_lb,
+                without_improvement=tracker.iterations_without_improvement,
+            )
+            if reinitialized:
+                publish_reinit(
+                    tele, region.name, 2, tracker.iterations,
+                    strategy.tau_max(tracker.best_cost - length_lb),
+                )
             scope.iteration(float(result.winner_cost), tracker.best_cost)
             if budget is not None:
                 kernel_now = accounting.kernel_seconds()

@@ -17,6 +17,13 @@ from .patterns import (
     pattern_region,
     PATTERN_NAMES,
 )
+from .hostile import (
+    HOSTILE_DEFAULT_SIZES,
+    HOSTILE_FAMILIES,
+    HOSTILE_NAMES,
+    hostile_region,
+    region_fingerprint,
+)
 from .rocprim import KernelSpec, BenchmarkSpec, Suite, generate_suite
 
 __all__ = [
@@ -24,6 +31,11 @@ __all__ = [
     "random_region",
     "pattern_region",
     "PATTERN_NAMES",
+    "HOSTILE_DEFAULT_SIZES",
+    "HOSTILE_FAMILIES",
+    "HOSTILE_NAMES",
+    "hostile_region",
+    "region_fingerprint",
     "KernelSpec",
     "BenchmarkSpec",
     "Suite",

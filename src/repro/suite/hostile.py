@@ -1,0 +1,227 @@
+"""Hostile-workload generators: regions built to break the search.
+
+The rocPRIM-like suite (:mod:`repro.suite.rocprim`) covers the shapes the
+paper *evaluates on*; this module covers the shapes a scheduler *fails
+on*. Each family isolates one stressor:
+
+* ``giant``          — 1000+-instruction regions (the paper's size classes
+  stop at "large"; these exercise allocation bounds, the ready-list
+  capacity and termination behaviour far past the benchmarked tail);
+* ``pressure_cliff`` — a wide load front whose consumers form one serial
+  chain, so every load is live until the chain reaches it: any eager
+  schedule falls off a register cliff, and the RP pass has to thread a
+  narrow interleaving to stay under the APRP target;
+* ``long_chain``     — a fully serial dependence chain of long-latency
+  ops: zero ILP, minimal pressure, maximal stall pressure on pass 2's
+  optional-stall heuristic;
+* ``fanout``         — a few roots fanned out to hundreds of independent
+  consumers: the ready list hits its transitive-closure bound and the
+  selection loop faces its widest-possible choice every step.
+
+All generators are deterministic in the provided RNG, produce exactly the
+requested size, and register themselves in :data:`HOSTILE_FAMILIES` the
+way :mod:`repro.suite.patterns` registers its patterns.
+:func:`region_fingerprint` gives a byte-stable content hash used by the
+golden tests and the adversarial miner's reproducer archive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Callable, Dict, Tuple
+
+from ..ir.block import SchedulingRegion
+from ..ir.builder import RegionBuilder
+from ..ir.registers import VGPR, VirtualRegister
+
+_LOADS = ["global_load", "buffer_load", "flat_load"]
+_TRANS = ["v_rcp_f32", "v_sqrt_f32", "v_exp_f32"]
+_ALU = ["v_add_f32", "v_mul_f32", "v_fma_f32", "v_max", "v_and"]
+
+
+def giant_region(rng: random.Random, size: int, name: str) -> SchedulingRegion:
+    """A 1000+-instruction block: tiled load/compute/store waves.
+
+    Structurally a huge unrolled streaming kernel — repeated tiles of a
+    load front, a combine layer over the front, and a store — so the
+    region has real scheduling freedom at a size far past the paper's
+    "large" class instead of being one amorphous blob.
+    """
+    builder = RegionBuilder(name)
+    next_id = [0]
+
+    def fresh() -> VirtualRegister:
+        reg = VirtualRegister(VGPR, next_id[0])
+        next_id[0] += 1
+        return reg
+
+    budget = size
+    last_value = None
+    while budget > 0:
+        tile = min(budget, rng.randrange(12, 25))
+        loads = max(2, tile // 3)
+        front = []
+        for _ in range(loads):
+            if budget <= 0:
+                break
+            reg = fresh()
+            builder.inst(rng.choice(_LOADS), defs=[reg])
+            front.append(reg)
+            budget -= 1
+        while budget > 1 and len(front) > 1:
+            a = front.pop(rng.randrange(len(front)))
+            b = front.pop(rng.randrange(len(front)))
+            reg = fresh()
+            builder.inst(rng.choice(_ALU), defs=[reg], uses=sorted([a, b]))
+            front.append(reg)
+            budget -= 1
+        if budget > 0 and front:
+            builder.inst("global_store", uses=[front[-1]])
+            last_value = front[-1]
+            budget -= 1
+        elif front:
+            last_value = front[-1]
+    if last_value is not None:
+        builder.live_out(last_value)
+    return builder.build()
+
+
+def pressure_cliff_region(rng: random.Random, size: int, name: str) -> SchedulingRegion:
+    """A load front pinned live by one serial consumer chain.
+
+    ``k`` loads, then a chain where combine ``i`` uses combine ``i-1``
+    and load ``i``: issuing the loads up front spikes pressure to ``k``;
+    the only flat-pressure schedule interleaves each load just before
+    its chain position. The RNG shuffles which load each chain step
+    consumes so the cliff is not trivially sorted away.
+    """
+    builder = RegionBuilder(name)
+    loads = max(2, (size + 1) // 2)
+    chain_len = size - loads
+    front = []
+    next_id = 0
+    for _ in range(loads):
+        reg = VirtualRegister(VGPR, next_id)
+        next_id += 1
+        builder.inst(rng.choice(_LOADS), defs=[reg])
+        front.append(reg)
+    consume = list(front)
+    rng.shuffle(consume)
+    acc = consume[0] if consume else front[0]
+    for step in range(chain_len):
+        reg = VirtualRegister(VGPR, next_id)
+        next_id += 1
+        operand = consume[(step + 1) % len(consume)]
+        builder.inst(rng.choice(_ALU), defs=[reg], uses=sorted({acc, operand}))
+        acc = reg
+    builder.live_out(acc)
+    return builder.build()
+
+
+def long_chain_region(rng: random.Random, size: int, name: str) -> SchedulingRegion:
+    """One fully serial chain of mostly long-latency ops (zero ILP)."""
+    builder = RegionBuilder(name)
+    reg = VirtualRegister(VGPR, 0)
+    builder.inst(rng.choice(_LOADS), defs=[reg])
+    for index in range(1, size):
+        new = VirtualRegister(VGPR, index)
+        op = rng.choice(_TRANS) if rng.random() < 0.6 else rng.choice(_ALU)
+        builder.inst(op, defs=[new], uses=[reg])
+        reg = new
+    builder.live_out(reg)
+    return builder.build()
+
+
+def fanout_region(rng: random.Random, size: int, name: str) -> SchedulingRegion:
+    """A few roots, each fanned out to a maximal independent consumer set.
+
+    After the roots issue, *every* remaining instruction is ready at
+    once: the ready list peaks near ``size`` and stays there, stressing
+    the capacity bound and the per-step selection loop.
+    """
+    builder = RegionBuilder(name)
+    roots = max(1, min(4, size // 32 + 1))
+    root_regs = []
+    next_id = 0
+    for _ in range(min(roots, size)):
+        reg = VirtualRegister(VGPR, next_id)
+        next_id += 1
+        builder.inst(rng.choice(_LOADS), defs=[reg])
+        root_regs.append(reg)
+    live = []
+    for _ in range(size - len(root_regs)):
+        src = rng.choice(root_regs)
+        if rng.random() < 0.2:
+            builder.inst("global_store", uses=[src])
+        else:
+            reg = VirtualRegister(VGPR, next_id)
+            next_id += 1
+            builder.inst(rng.choice(_ALU), defs=[reg], uses=[src])
+            live.append(reg)
+    for reg in live[-2:] or root_regs[-1:]:
+        builder.live_out(reg)
+    return builder.build()
+
+
+#: family name -> generator ``(rng, size, name) -> SchedulingRegion``.
+HOSTILE_FAMILIES: Dict[str, Callable[[random.Random, int, str], SchedulingRegion]] = {
+    "giant": giant_region,
+    "pressure_cliff": pressure_cliff_region,
+    "long_chain": long_chain_region,
+    "fanout": fanout_region,
+}
+
+#: All family names, in a stable order.
+HOSTILE_NAMES: Tuple[str, ...] = tuple(sorted(HOSTILE_FAMILIES))
+
+#: The size each family defaults to (``giant`` honours its 1000+ charter;
+#: the others stay small enough for the schedulers to search in CI).
+HOSTILE_DEFAULT_SIZES: Dict[str, int] = {
+    "giant": 1024,
+    "pressure_cliff": 96,
+    "long_chain": 64,
+    "fanout": 128,
+}
+
+
+def hostile_region(
+    family: str, seed: int, size: int = 0, name: str = ""
+) -> SchedulingRegion:
+    """Generate one region of the named hostile family, deterministically.
+
+    ``seed`` fully determines the region (generators draw from a private
+    ``random.Random(seed)``); ``size`` defaults to the family's charter
+    size in :data:`HOSTILE_DEFAULT_SIZES`.
+    """
+    try:
+        generator = HOSTILE_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            "unknown hostile family %r (known: %s)" % (family, ", ".join(HOSTILE_NAMES))
+        ) from None
+    size = size or HOSTILE_DEFAULT_SIZES[family]
+    name = name or ("%s_%d_s%d" % (family, size, seed))
+    return generator(random.Random(seed), size, name)
+
+
+def region_fingerprint(region: SchedulingRegion) -> str:
+    """A byte-stable content hash of a region (sha256, first 16 hex chars).
+
+    Covers exactly what scheduling sees: the instruction stream (opcode,
+    latency, defs, uses) and the boundary liveness — not the region name,
+    so the same structure fingerprints identically under any label.
+    """
+    digest = hashlib.sha256()
+    for inst in region.instructions:
+        digest.update(
+            ("%s|%d|%s|%s\n" % (
+                inst.op.name,
+                inst.latency,
+                ",".join(str(r) for r in inst.defs),
+                ",".join(str(r) for r in inst.uses),
+            )).encode()
+        )
+    digest.update(("in:%s\n" % ",".join(sorted(str(r) for r in region.live_in))).encode())
+    digest.update(("out:%s\n" % ",".join(sorted(str(r) for r in region.live_out))).encode())
+    return digest.hexdigest()[:16]

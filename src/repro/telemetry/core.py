@@ -84,9 +84,17 @@ class Telemetry:
         scheduler: str,
         lower_bound: float,
         initial_cost: float,
+        strategy: Optional[str] = None,
     ) -> "PassScope":
-        """Open a per-pass scope (emits ``pass_start`` when tracing)."""
-        return PassScope(self, region, pass_index, scheduler, lower_bound, initial_cost)
+        """Open a per-pass scope (emits ``pass_start`` when tracing).
+
+        ``strategy`` labels the pass with its pheromone-update strategy
+        ("as"/"mmas") — an optional schema-v1 extra on ``pass_start``.
+        """
+        return PassScope(
+            self, region, pass_index, scheduler, lower_bound, initial_cost,
+            strategy=strategy,
+        )
 
     def close(self) -> None:
         self.sink.close()
@@ -110,6 +118,7 @@ class PassScope:
         scheduler: str,
         lower_bound: float,
         initial_cost: float,
+        strategy: Optional[str] = None,
     ):
         self.telemetry = telemetry
         self.region = region
@@ -121,6 +130,7 @@ class PassScope:
         self._trace_fields: Dict[str, str] = (
             context.child("pass%d" % pass_index).fields() if context is not None else {}
         )
+        extra: Dict[str, str] = {} if strategy is None else {"strategy": strategy}
         telemetry.emit(
             "pass_start",
             region=region,
@@ -128,6 +138,7 @@ class PassScope:
             scheduler=scheduler,
             lower_bound=float(lower_bound),
             initial_cost=float(initial_cost),
+            **extra,
             **self._trace_fields,
         )
 

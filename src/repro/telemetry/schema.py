@@ -34,6 +34,7 @@ Event types (schema v1):
 ``transfer``              one host<->device copy set (bytes, calls)
 ``batch_start/_end``      one multi-region batched launch
 ``verify``                one independent verification pass (checks, violations)
+``reinit``                one MMAS pheromone reinitialization (stagnation restart)
 ``fault``                 one injected fault detected (class, attempt, cost)
 ``retry``                 one retry attempt starting (seed, resumed or fresh)
 ``degrade``               one degradation-ladder step (from rung -> to rung)
@@ -112,6 +113,7 @@ EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
     "batch_start": ("num_regions", "blocks_per_region"),
     "batch_end": ("num_regions", "seconds", "unbatched_seconds", "amortization_speedup"),
     "verify": ("region", "checks", "violations"),
+    "reinit": ("region", "pass_index", "iteration", "tau_max"),
     "fault": ("region", "fault_class", "attempt", "seconds"),
     "retry": ("region", "attempt", "seed", "resumed"),
     "degrade": ("region", "from_rung", "to_rung", "attempt"),

@@ -37,6 +37,11 @@ from strategies import make_region, medium_regions
 #: per-ant streams are spawn-indexed) and the seed sweep covers more ants.
 GPU = GPUParams(blocks=1)
 
+#: Both pheromone-update strategies must be backend-bit-identical: the
+#: strategy only rewrites the tau trajectory, which every backend reads
+#: identically (see repro.aco.strategy).
+STRATEGIES = ("as", "mmas")
+
 #: Golden regions pinned alongside the generated ones: the paper's running
 #: example scale and the telemetry-golden region shapes.
 GOLDEN_REGIONS = [
@@ -46,9 +51,10 @@ GOLDEN_REGIONS = [
 ]
 
 
-def _run(backend, ddg, seed, telemetry=None):
+def _run(backend, ddg, seed, telemetry=None, strategy="as"):
     scheduler = ParallelACOScheduler(
-        amd_vega20(), gpu_params=GPU, backend=backend, telemetry=telemetry
+        amd_vega20(), gpu_params=GPU, backend=backend, telemetry=telemetry,
+        strategy=strategy,
     )
     return scheduler.schedule(ddg, seed=seed)
 
@@ -70,13 +76,13 @@ def _fingerprint(result):
     )
 
 
-def _event_counts(backend, ddg, seed):
+def _event_counts(backend, ddg, seed, strategy="as"):
     sink = MemorySink()
-    _run(backend, ddg, seed, telemetry=Telemetry(sink=sink))
+    _run(backend, ddg, seed, telemetry=Telemetry(sink=sink), strategy=strategy)
     return Counter(r["event"] for r in sink.records)
 
 
-def _explain_divergence(a, b, ddg, seed):
+def _explain_divergence(a, b, ddg, seed, strategy="as"):
     """Re-run both backends recorded at full draw level and localize.
 
     Returns the differ's human-readable first-divergence report; also
@@ -98,7 +104,10 @@ def _explain_divergence(a, b, ddg, seed):
     for backend in (a, b):
         recorder = RunRecorder(draws="full")
         with recording_scope(recorder):
-            _run(backend, ddg, seed, telemetry=Telemetry(sink=recorder.sink))
+            _run(
+                backend, ddg, seed,
+                telemetry=Telemetry(sink=recorder.sink), strategy=strategy,
+            )
         paths.append(
             recorder.save(
                 os.path.join(out_dir, "%s-vs-%s-%s" % (a, b, backend))
@@ -111,13 +120,15 @@ def _explain_divergence(a, b, ddg, seed):
     return render_report(report)
 
 
-def _assert_bit_identical(a, b, ddg, seed):
+def _assert_bit_identical(a, b, ddg, seed, strategy="as"):
     """Fingerprint equality with first-divergence localization on failure."""
-    if _fingerprint(_run(a, ddg, seed)) == _fingerprint(_run(b, ddg, seed)):
+    fp_a = _fingerprint(_run(a, ddg, seed, strategy=strategy))
+    fp_b = _fingerprint(_run(b, ddg, seed, strategy=strategy))
+    if fp_a == fp_b:
         return
     pytest.fail(
-        "backends %r and %r diverged (seed %d):\n%s"
-        % (a, b, seed, _explain_divergence(a, b, ddg, seed))
+        "backends %r and %r diverged (seed %d, strategy %s):\n%s"
+        % (a, b, seed, strategy, _explain_divergence(a, b, ddg, seed, strategy))
     )
 
 
@@ -129,25 +140,43 @@ def _assert_bit_identical(a, b, ddg, seed):
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
+@pytest.mark.parametrize("strategy", STRATEGIES)
 @given(region=medium_regions())
-def test_hypothesis_regions_bit_identical(backend_pair, region):
+def test_hypothesis_regions_bit_identical(backend_pair, strategy, region):
     a, b = backend_pair
     ddg = DDG(region)
-    _assert_bit_identical(a, b, ddg, seed=7)
+    _assert_bit_identical(a, b, ddg, seed=7, strategy=strategy)
 
 
 class TestBackendPairs:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
     @pytest.mark.parametrize("spec", GOLDEN_REGIONS, ids=lambda s: "%s-%d" % (s[0], s[2]))
-    def test_golden_regions_bit_identical(self, backend_pair, spec):
+    def test_golden_regions_bit_identical(self, backend_pair, spec, strategy):
         a, b = backend_pair
         ddg = DDG(make_region(*spec))
-        _assert_bit_identical(a, b, ddg, seed=11)
+        _assert_bit_identical(a, b, ddg, seed=11, strategy=strategy)
 
+    @pytest.mark.parametrize("strategy", STRATEGIES)
     @pytest.mark.parametrize("spec", GOLDEN_REGIONS[:1], ids=lambda s: s[0])
-    def test_telemetry_event_counts_match(self, backend_pair, spec):
+    def test_telemetry_event_counts_match(self, backend_pair, spec, strategy):
         a, b = backend_pair
         ddg = DDG(make_region(*spec))
-        assert _event_counts(a, ddg, seed=11) == _event_counts(b, ddg, seed=11)
+        counts_a = _event_counts(a, ddg, seed=11, strategy=strategy)
+        counts_b = _event_counts(b, ddg, seed=11, strategy=strategy)
+        assert counts_a == counts_b
+
+    def test_strategy_label_travels_with_pass_starts(self, backend_pair):
+        ddg = DDG(make_region("reduce", 3, 30))
+        for backend in backend_pair:
+            for strategy in STRATEGIES:
+                sink = MemorySink()
+                _run(
+                    backend, ddg, seed=11,
+                    telemetry=Telemetry(sink=sink), strategy=strategy,
+                )
+                starts = sink.by_type("pass_start")
+                assert starts
+                assert {r["strategy"] for r in starts} == {strategy}
 
     def test_backend_label_travels_with_kernel_launches(self, backend_pair):
         ddg = DDG(make_region("reduce", 3, 30))

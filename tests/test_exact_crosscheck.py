@@ -1,0 +1,128 @@
+"""Optimality cross-check: ACO and the heuristic vs. exact certificates.
+
+On regions small enough for branch-and-bound (≤ 12 instructions), the
+exact solvers produce true optima. Every scheduler must respect them:
+no result beats the floor, the heuristic lands at or above it, and the
+ACO search — under both strategies — lands ON it for the pinned seeds
+(these regions are tiny; a search that misses them is broken, not
+unlucky). Every exact schedule must itself be dependence- and
+latency-legal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ddg import DDG
+from repro.exact import (
+    CROSSCHECK_MAX_INSTRUCTIONS,
+    ExactLimits,
+    crosscheck,
+    min_length_schedule,
+    min_pressure_order,
+    min_register_order,
+)
+from repro.exact.bnb import ExactSolverError
+from repro.ir.builder import figure1_region
+from repro.machine import amd_vega20
+from repro.rp.liveness import peak_pressure
+from repro.schedule.schedule import Schedule
+from repro.schedule.validate import validate_schedule
+from repro.suite.hostile import hostile_region
+from strategies import make_region
+
+#: Pinned small regions: the paper's running example plus one region per
+#: generator family, all within the cross-check size budget.
+SMALL_REGIONS = [
+    ("figure1", lambda: figure1_region()),
+    ("cliff10", lambda: hostile_region("pressure_cliff", seed=1, size=10)),
+    ("chain9", lambda: hostile_region("long_chain", seed=2, size=9)),
+    ("fanout12", lambda: hostile_region("fanout", seed=3, size=12)),
+    ("reduce11", lambda: make_region("reduce", 5, 11)),
+    ("sort10", lambda: make_region("sort", 9, 10)),
+]
+
+MACHINE = amd_vega20()
+
+
+@pytest.fixture(params=SMALL_REGIONS, ids=lambda spec: spec[0])
+def report(request):
+    ddg = DDG(request.param[1]())
+    assert ddg.num_instructions <= CROSSCHECK_MAX_INSTRUCTIONS
+    return ddg, crosscheck(ddg, MACHINE, strategies=("as", "mmas"), seed=3)
+
+
+class TestFloors:
+    def test_no_scheduler_beats_the_exact_optimum(self, report):
+        _, rep = report
+        assert rep.heuristic_rp_cost >= rep.optimal_rp_cost
+        for outcome in rep.outcomes.values():
+            assert outcome.rp_cost >= rep.optimal_rp_cost
+
+    def test_aco_hits_the_optimum_on_pinned_seeds(self, report):
+        _, rep = report
+        for outcome in rep.outcomes.values():
+            assert outcome.rp_cost == rep.optimal_rp_cost, (
+                "%s landed at %d, optimum is %d (gap %.3f)"
+                % (outcome.strategy, outcome.rp_cost, rep.optimal_rp_cost, outcome.rp_gap)
+            )
+            assert outcome.within(1.0)
+
+    def test_min_register_floor_holds_for_every_order(self, report):
+        ddg, rep = report
+        # The min-register count bounds every legal order's live peak —
+        # including the APRP-optimal order and every ACO best order.
+        peak = peak_pressure(Schedule.from_order(ddg.region, rep.optimal_order))
+        assert sum(peak.values()) >= rep.min_register_count
+
+    def test_exact_schedules_are_legal(self, report):
+        ddg, rep = report
+        # The pass-2 schedule is fully latency-legal; the pass-1 orders are
+        # back-to-back issue sequences, legal up to program order only.
+        validate_schedule(rep.optimal_schedule, ddg)
+        order_schedule = Schedule.from_order(ddg.region, rep.optimal_order)
+        validate_schedule(order_schedule, ddg, respect_latencies=False)
+        minreg_schedule = Schedule.from_order(ddg.region, rep.min_register_order)
+        validate_schedule(minreg_schedule, ddg, respect_latencies=False)
+
+    def test_optimal_length_bounds_pass2(self, report):
+        _, rep = report
+        # The exact min length is computed under the optimal order's own
+        # pressure target, so it bounds any search honouring that target.
+        assert rep.optimal_length >= 1
+        assert rep.optimal_length <= rep.heuristic_length or rep.heuristic_length > 0
+
+
+class TestSolverContracts:
+    def test_min_register_matches_known_chain(self):
+        # A pure serial chain holds one value live at a time: each value
+        # dies at its single use, right as the next one is defined.
+        ddg = DDG(hostile_region("long_chain", seed=0, size=8))
+        _order, count = min_register_order(ddg)
+        assert count == 1
+
+    def test_min_register_leq_any_topological_order(self):
+        ddg = DDG(make_region("stencil", 4, 10))
+        _order, count = min_register_order(ddg)
+        naive = peak_pressure(
+            Schedule.from_order(ddg.region, tuple(range(ddg.num_instructions)))
+        )
+        assert count <= sum(naive.values())
+
+    def test_size_limit_is_enforced(self):
+        ddg = DDG(make_region("transform", 0, 20))
+        with pytest.raises(ExactSolverError):
+            crosscheck(ddg, MACHINE)
+        with pytest.raises(ExactSolverError):
+            min_register_order(ddg, ExactLimits(max_instructions=12))
+
+    def test_length_solver_agrees_with_pressure_solver_region(self):
+        ddg = DDG(figure1_region())
+        order, cost = min_pressure_order(ddg, MACHINE)
+        assert sorted(order) == list(range(ddg.num_instructions))
+        peak = peak_pressure(Schedule.from_order(ddg.region, order))
+        schedule = min_length_schedule(
+            ddg, MACHINE, target_pressure=MACHINE.aprp(peak)
+        )
+        validate_schedule(schedule, ddg)
+        assert cost >= 0

@@ -1,0 +1,177 @@
+"""Hostile-workload generators and the adversarial miner's archive.
+
+The generators are fixture factories: their output must be byte-stable
+(golden fingerprints pinned here), structurally valid (the DDG builder is
+the arbiter), and actually hostile in the advertised way (a pressure
+cliff really pins its loads live, a chain really serializes). The
+committed reproducers in ``tests/data/adversarial/`` are regression
+tests for the miner's loss criterion: each one must still parse to the
+recorded fingerprint and still make the ACO search lose to the list
+heuristic.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.ddg import DDG
+from repro.ir import format_region, parse_region
+from repro.machine import amd_vega20
+from repro.rp.liveness import peak_pressure
+from repro.schedule.schedule import Schedule
+from repro.suite.adversarial import (
+    MINE_FAMILIES,
+    MinedCase,
+    aco_loss,
+    make_candidate,
+    mine,
+)
+from repro.suite.hostile import (
+    HOSTILE_DEFAULT_SIZES,
+    HOSTILE_FAMILIES,
+    HOSTILE_NAMES,
+    hostile_region,
+    region_fingerprint,
+)
+
+ADVERSARIAL_DIR = os.path.join(os.path.dirname(__file__), "data", "adversarial")
+
+#: Byte-stability contract: fingerprints of every family at seed 0 and its
+#: default size. A change here means existing mined reproducers, benches,
+#: and archived fixtures silently describe different programs.
+GOLDEN_FINGERPRINTS = {
+    "fanout": "baae0d86675fca0e",
+    "giant": "d5cc82464d9a3b74",
+    "long_chain": "bec6cfd4d35427f0",
+    "pressure_cliff": "77453cc821a3bcd3",
+}
+
+
+class TestGenerators:
+    def test_registry_is_complete_and_sorted(self):
+        assert HOSTILE_NAMES == tuple(sorted(HOSTILE_FAMILIES))
+        assert set(GOLDEN_FINGERPRINTS) == set(HOSTILE_NAMES)
+        assert set(HOSTILE_DEFAULT_SIZES) == set(HOSTILE_NAMES)
+
+    @pytest.mark.parametrize("family", HOSTILE_NAMES)
+    def test_golden_fingerprints(self, family):
+        region = hostile_region(family, seed=0)
+        assert len(region) == HOSTILE_DEFAULT_SIZES[family]
+        assert region_fingerprint(region) == GOLDEN_FINGERPRINTS[family]
+
+    @pytest.mark.parametrize("family", HOSTILE_NAMES)
+    def test_deterministic_and_seed_sensitive(self, family):
+        first = hostile_region(family, seed=5, size=32)
+        again = hostile_region(family, seed=5, size=32)
+        other = hostile_region(family, seed=6, size=32)
+        assert region_fingerprint(first) == region_fingerprint(again)
+        # Every family embeds seeded randomness (latencies at minimum), so
+        # distinct seeds must produce distinct programs.
+        assert region_fingerprint(first) != region_fingerprint(other)
+
+    @pytest.mark.parametrize("family", HOSTILE_NAMES)
+    def test_regions_build_valid_ddgs(self, family):
+        region = hostile_region(family, seed=0, size=24)
+        ddg = DDG(region)
+        assert ddg.num_instructions == 24
+        # Program order must be a legal schedule of its own DDG.
+        order = tuple(range(24))
+        Schedule.from_order(region, order)
+
+    @pytest.mark.parametrize("family", HOSTILE_NAMES)
+    def test_ir_round_trip_preserves_fingerprint(self, family):
+        region = hostile_region(family, seed=3, size=20)
+        parsed = parse_region(format_region(region))
+        assert region_fingerprint(parsed) == region_fingerprint(region)
+
+    def test_pressure_cliff_really_cliffs(self):
+        # Program order of the cliff keeps every load live across the
+        # serial consumer chain: the peak must scale with the region, not
+        # stay flat like a well-behaved workload.
+        small = hostile_region("pressure_cliff", seed=0, size=16)
+        large = hostile_region("pressure_cliff", seed=0, size=64)
+        peak_of = lambda r: sum(
+            peak_pressure(Schedule.from_order(r, tuple(range(len(r))))).values()
+        )
+        assert peak_of(large) > 2 * peak_of(small)
+
+    def test_long_chain_is_fully_serial(self):
+        ddg = DDG(hostile_region("long_chain", seed=0, size=16))
+        # Exactly one topological order exists: each node feeds the next.
+        for src in range(ddg.num_instructions - 1):
+            assert any(dst == src + 1 for dst, _ in ddg.successors[src])
+
+    def test_fanout_is_mostly_ready_at_once(self):
+        ddg = DDG(hostile_region("fanout", seed=0, size=48))
+        rootless = sum(1 for preds in ddg.predecessors if not preds)
+        dependents = sum(1 for preds in ddg.predecessors if preds)
+        assert rootless <= 4
+        assert dependents >= 44
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(Exception):
+            hostile_region("nonexistent", seed=0)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("family", HOSTILE_NAMES)
+    def test_seed_sweep_stays_valid(self, family):
+        seen = set()
+        for seed in range(12):
+            region = hostile_region(family, seed=seed, size=40)
+            DDG(region)
+            seen.add(region_fingerprint(region))
+        # The sweep must not collapse onto a handful of programs.
+        assert len(seen) >= 10
+
+
+class TestMinerArchive:
+    def _cases(self):
+        paths = sorted(glob.glob(os.path.join(ADVERSARIAL_DIR, "*.json")))
+        assert paths, "no mined reproducers committed under %s" % ADVERSARIAL_DIR
+        for path in paths:
+            with open(path) as handle:
+                yield path, MinedCase.from_json(handle.read())
+
+    def test_archive_fingerprints_still_match(self):
+        for path, case in self._cases():
+            assert case.family in MINE_FAMILIES, path
+            assert region_fingerprint(case.region) == case.fingerprint, path
+
+    def test_archive_losses_still_reproduce(self):
+        machine = amd_vega20()
+        for path, case in self._cases():
+            loss = aco_loss(case.region, machine, case.strategy, case.seed)
+            assert loss is not None, "%s no longer loses" % path
+            assert loss["heuristic_length"] == case.heuristic_length, path
+            assert loss["aco_length"] == case.aco_length, path
+            assert loss["heuristic_rp_cost"] == case.heuristic_rp_cost, path
+            assert loss["aco_rp_cost"] == case.aco_rp_cost, path
+
+    def test_archive_json_is_canonical(self):
+        # to_json must be the identity on committed files, so regenerated
+        # archives never churn the diff.
+        for path, case in self._cases():
+            with open(path) as handle:
+                assert handle.read() == case.to_json(), path
+
+    def test_make_candidate_covers_both_registries(self):
+        hostile = make_candidate("pressure_cliff", seed=0, size=16)
+        pattern = make_candidate("gemm_tile", seed=0, size=16)
+        assert len(hostile) == 16
+        assert len(pattern) == 16
+
+    @pytest.mark.slow
+    def test_miner_smoke_finds_a_case(self):
+        cases = mine(families=("gemm_tile",), seeds=2, size=44, max_cases=1)
+        assert len(cases) == 1
+        case = cases[0]
+        assert case.aco_length > case.heuristic_length
+        assert case.aco_rp_cost >= case.heuristic_rp_cost
+        # The reproducer is self-contained: parse, re-fingerprint, re-lose.
+        round_tripped = json.loads(case.to_json())
+        assert round_tripped["fingerprint"] == case.fingerprint
+        assert aco_loss(case.region, strategy=case.strategy, seed=case.seed)
