@@ -14,12 +14,18 @@ the legacy lint never covered:
   two runs with equal seeds can diverge because a shell exported a var;
 * **wall-clock dates** (``DET-004``): ``datetime.now()`` and friends
   anywhere in the library leak real time into outputs that must be
-  byte-stable (bench fingerprints, baselines, goldens).
+  byte-stable (bench fingerprints, baselines, goldens);
+* **unordered merges** (``DET-005``): a function named like
+  ``merge``/``reduce``/``combine`` iterating an unordered collection —
+  the exact hazard class that would silently break the fleet layer's
+  bit-identical shard merge, so it is policed everywhere, not just in
+  kernel paths.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterable, Iterator
 
 from ..core import Finding, FileContext, Rule, dotted_name, register
@@ -147,3 +153,60 @@ class WallClockDateRule(Rule):
                     "wall-clock %s(); deterministic artifacts must not "
                     "embed real dates" % name,
                 )
+
+
+#: Function names that mark a reduce path (substring match, any casing).
+_MERGE_NAME = re.compile(r"merge|reduce|combine", re.IGNORECASE)
+
+#: Method tails whose call result is an unordered set, regardless of how
+#: the receiver was built (``a.union(b)`` has set iteration order).
+_SET_OP_TAILS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+
+def _is_unordered_expression(node: ast.expr) -> bool:
+    """Set-typed by construction: literals, comprehensions, set()/frozenset()
+    calls, and set-operation method calls."""
+    if _is_set_expression(node):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr in _SET_OP_TAILS
+    return False
+
+
+@register
+class UnorderedMergeRule(Rule):
+    rule_id = "DET-005"
+    name = "unordered-merge-iteration"
+    severity = "error"
+    summary = "Unordered-collection iteration inside a merge/reduce/combine"
+    rationale = (
+        "A merge must be a deterministic reduce: the fleet layer's "
+        "bit-identity contract (sharded result == single-device result) "
+        "holds only if every merge/reduce/combine walks its inputs in a "
+        "stable order. Iterating a set (or a set-operation result) inside "
+        "such a function makes the merged output depend on hash order — "
+        "per-process for str keys. Key the inputs and walk an explicit "
+        "index order (range/sorted) instead."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        reported = set()  # a merge nested in a merge reports each site once
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _MERGE_NAME.search(node.name):
+                continue
+            for iter_expr in _iteration_sites(node):
+                if id(iter_expr) in reported:
+                    continue
+                if _is_unordered_expression(iter_expr):
+                    reported.add(id(iter_expr))
+                    yield ctx.finding(
+                        self,
+                        iter_expr,
+                        "iteration over an unordered collection inside %r; "
+                        "a merge/reduce must walk a stable order — use "
+                        "sorted(...) or explicit indices" % node.name,
+                    )

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import math
 import os
+from contextlib import ExitStack
 from typing import Callable, Dict, List, Optional
 
 from ..config import geometric_mean
@@ -381,6 +382,80 @@ def bench_scenarios(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
     return out
 
 
+def bench_fleet(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Fleet sharding: scaling efficiency, chaos recovery, bit-identity.
+
+    Runs the fleet harness batch fault-free at N in {1, 2, 4} and records
+    the makespans and scaling efficiencies, then replays the pinned
+    worker-chaos sweep and records recovery statistics and the recovery
+    overhead in simulated seconds (chaotic makespan minus the fault-free
+    makespan at the same shard count). ``identical_to_single_device`` is
+    the headline gate: every fleet merge — fault-free or chaotic — must
+    be bit-identical to the single-device run.
+
+    Isolated under an inert profiler and a private telemetry session so
+    the fleet runs don't perturb the cumulative counters ``bench_profile``
+    reconciles.
+    """
+    from ..config import FleetParams
+    from ..fleet import FleetSupervisor
+    from ..fleet.chaos import (
+        DEFAULT_SHARDS,
+        batches_identical,
+        chaos_sweep,
+        fleet_items,
+        fleet_scheduler,
+    )
+    from ..profile import NullProfiler, profile_session
+    from ..telemetry import Telemetry, telemetry_session
+
+    machine = context.machine
+    out: Dict[str, Dict[str, object]] = {}
+    with ExitStack() as stack:
+        stack.enter_context(profile_session(NullProfiler()))
+        stack.enter_context(telemetry_session(Telemetry(collect_metrics=False)))
+
+        items = fleet_items(machine)
+        single = fleet_scheduler(machine).schedule_batch(items)
+        out["regions"] = metric(len(items), "regions")
+        out["single_device_seconds"] = metric(single.seconds, "s", "lower")
+
+        identical = True
+        faultfree_makespans: Dict[int, float] = {}
+        for num_shards in DEFAULT_SHARDS:
+            fleet = FleetSupervisor(
+                fleet_scheduler(machine), FleetParams(num_shards=num_shards)
+            ).schedule_batch(items)
+            identical = identical and batches_identical(single, fleet.batch)
+            faultfree_makespans[num_shards] = fleet.fleet_seconds
+            out["shards%d_makespan_seconds" % num_shards] = metric(
+                fleet.fleet_seconds, "s", "lower"
+            )
+            out["shards%d_scaling_efficiency" % num_shards] = metric(
+                fleet.scaling_efficiency, "ratio", "higher"
+            )
+
+        sweep = chaos_sweep(seeds=(11, 23), machine=machine)
+        identical = identical and sweep.all_ok
+        overhead = sum(
+            max(0.0, t.fleet_seconds - faultfree_makespans[t.num_shards])
+            for t in sweep.trials
+        )
+    out["chaos_trials"] = metric(len(sweep.trials), "runs")
+    out["worker_faults_injected"] = metric(
+        sum(sweep.faults_by_class.values()), "faults"
+    )
+    out["reassignments"] = metric(sweep.reassignments, "reassignments")
+    out["recovery_rate_pct"] = metric(
+        100.0 * sweep.recovery_rate, "pct", "higher"
+    )
+    out["chaos_recovery_overhead_seconds"] = metric(overhead, "s", "lower")
+    out["identical_to_single_device"] = metric(
+        1.0 if identical else 0.0, "bool", "higher"
+    )
+    return out
+
+
 def bench_profile(context: ExperimentContext) -> Dict[str, Dict[str, object]]:
     """Profiler self-check plus kernel cost attribution rollups.
 
@@ -431,6 +506,7 @@ BENCHES: Dict[str, Callable[[ExperimentContext], Dict[str, Dict[str, object]]]] 
     "resilience": bench_resilience,
     "obs": bench_obs,
     "scenarios": bench_scenarios,
+    "fleet": bench_fleet,
     "profile": bench_profile,
 }
 

@@ -1,0 +1,25 @@
+"""Fault-tolerant fleet sharding for multi-region batches.
+
+Splits one :class:`~repro.parallel.MultiRegionScheduler` batch across N
+supervised shard workers with deterministic recovery — crash/hang/corrupt
+workers are detected (cost-model heartbeats, integrity digests, the PR 2
+verifier), their regions re-dispatched, and the merged result is
+bit-identical to the single-device run for any shard count and any
+eventually-recovering fault plan. ``python -m repro.fleet.chaos`` proves
+it under forced faults.
+"""
+
+from .partition import merge_shard_results, partition_shards
+from .supervisor import HOST_WORKER, FleetResult, FleetSupervisor
+from .worker import ShardReturn, ShardWorker, outcome_digest
+
+__all__ = [
+    "FleetResult",
+    "FleetSupervisor",
+    "HOST_WORKER",
+    "ShardReturn",
+    "ShardWorker",
+    "merge_shard_results",
+    "outcome_digest",
+    "partition_shards",
+]

@@ -1,0 +1,79 @@
+"""Deterministic shard partitioning and the merge reduce.
+
+Two tiny pure functions carry the fleet's whole correctness story:
+
+* :func:`partition_shards` — round-robin assignment of batch slots to
+  shards, **in slot order**. It never looks at region contents, worker
+  history or timing, so the assignment for a given ``(slots, num_shards)``
+  is always the same — and because a slot's *result* is independent of
+  which worker runs it (see
+  :meth:`repro.parallel.MultiRegionScheduler.run_slot`), the assignment
+  does not need to be stable across fault recoveries, only deterministic.
+
+* :func:`merge_shard_results` — the deterministic reduce. Resolved slot
+  outcomes arrive in whatever order recovery produced them; the merge
+  re-assembles them by **explicit slot index** (``range(num_slots)``),
+  never by iterating an unordered collection, so the merged tuple is
+  bit-identical for any shard count and any recovery history. Duplicate
+  or missing slots are a :class:`~repro.errors.FleetError` — a merge must
+  account for every region exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple, TypeVar
+
+from ..errors import FleetError
+
+T = TypeVar("T")
+
+__all__ = ["partition_shards", "merge_shard_results"]
+
+
+def partition_shards(slots: Sequence[int], num_shards: int) -> List[List[int]]:
+    """Round-robin split of ``slots`` across ``num_shards`` queues.
+
+    Slot order is preserved within each queue (shard ``i`` gets
+    ``slots[i]``, ``slots[i + num_shards]``, ...). Shards beyond the slot
+    count come back empty — a two-region batch on an eight-worker fleet
+    just idles six workers.
+    """
+    if num_shards < 1:
+        raise FleetError("num_shards must be >= 1, got %d" % num_shards)
+    queues: List[List[int]] = [[] for _ in range(num_shards)]
+    for position, slot in enumerate(slots):
+        queues[position % num_shards].append(int(slot))
+    return queues
+
+
+def merge_shard_results(
+    num_slots: int, resolved: Iterable[Tuple[int, T]]
+) -> List[T]:
+    """Reduce resolved ``(slot_index, outcome)`` pairs into slot order.
+
+    The reduce is deterministic by construction: outcomes are keyed by
+    slot index on the way in (any arrival order) and read back by an
+    explicit ``range(num_slots)`` walk — no unordered-collection
+    iteration anywhere (the DET-005 rule this module is the poster child
+    for). Raises :class:`FleetError` on a duplicate, out-of-range or
+    missing slot; a merge that cannot account for every region exactly
+    once must not ship.
+    """
+    if num_slots < 0:
+        raise FleetError("num_slots must be >= 0, got %d" % num_slots)
+    by_slot: Dict[int, T] = {}
+    for slot, outcome in resolved:
+        slot = int(slot)
+        if not 0 <= slot < num_slots:
+            raise FleetError(
+                "merge saw out-of-range slot %d (batch has %d)" % (slot, num_slots)
+            )
+        if slot in by_slot:
+            raise FleetError("merge saw slot %d twice" % slot)
+        by_slot[slot] = outcome
+    missing = [index for index in range(num_slots) if index not in by_slot]
+    if missing:
+        raise FleetError(
+            "merge missing slot(s): %s" % ", ".join(str(i) for i in missing)
+        )
+    return [by_slot[index] for index in range(num_slots)]

@@ -30,7 +30,13 @@ from .vectorized import VectorizedColony
 from .loop import LoopColony
 from .colony import BACKENDS, Colony, ColonyIterationResult, resolve_backend
 from .scheduler import ParallelACOScheduler, ParallelACOResult, ParallelPassResult
-from .multi_region import BatchItem, BatchResult, MultiRegionScheduler
+from .multi_region import (
+    BatchItem,
+    BatchResult,
+    MultiRegionScheduler,
+    SlotOutcome,
+    partition_blocks,
+)
 
 __all__ = [
     "RegionDeviceData",
@@ -48,4 +54,6 @@ __all__ = [
     "BatchItem",
     "BatchResult",
     "MultiRegionScheduler",
+    "SlotOutcome",
+    "partition_blocks",
 ]

@@ -19,6 +19,22 @@ launch:
 The trade-off is ants-per-region: a region in a batch of eight gets an
 eighth of the colony, which can cost schedule quality on hard regions. The
 ``benchmarks/bench_multi_region.py`` harness measures both sides.
+
+Sharded execution (``repro.fleet``) rides on two invariants this module
+maintains:
+
+* the block partition is a pure function of the batch — computed **once**
+  over all items via :func:`partition_blocks`, never per shard — so a
+  region's block count (and hence its schedule) is independent of how the
+  batch is split across workers;
+* each slot runs through one shared runner (:meth:`MultiRegionScheduler
+  .run_slot`) whose outcome depends only on ``(ddg, seed, blocks, params,
+  fault_plan, resilience)`` — never on which worker ran it or when.
+
+Together they make the fleet's merged result bit-identical to the
+single-device run for any shard count. ``schedule_batch`` delegates to the
+fleet supervisor when sharding is requested (the ``fleet`` argument or the
+``REPRO_SHARDS`` environment override).
 """
 
 from __future__ import annotations
@@ -26,7 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
-from ..config import ACOParams, GPUParams, ResilienceParams, replace_params
+from ..config import ACOParams, FleetParams, GPUParams, ResilienceParams, replace_params
 from ..ddg.graph import DDG
 from ..errors import GPUSimError, InjectedFault, RegionUnrecoverable
 from ..gpusim.device import GPUDevice
@@ -47,6 +63,39 @@ from .scheduler import ParallelACOResult, ParallelACOScheduler
 RegionResult = Union[ParallelACOResult, ACOResult]
 
 
+def partition_blocks(sizes: Sequence[int], total_blocks: int) -> List[int]:
+    """Proportional-to-size split of a launch's blocks, >= 1 each.
+
+    Pure function of ``(sizes, total_blocks)`` — the fleet layer relies on
+    that: the partition is computed once over the whole batch, so every
+    shard sees the same per-region block counts the single-device run
+    would use. Remainder blocks go to the largest regions first; the
+    trim loop shrinks the smallest multi-block regions when the floor of
+    one-block-each overshoots.
+    """
+    if not sizes:
+        raise GPUSimError("empty batch")
+    if len(sizes) > total_blocks:
+        raise GPUSimError(
+            "batch of %d regions needs at least %d blocks (have %d)"
+            % (len(sizes), len(sizes), total_blocks)
+        )
+    total_size = sum(sizes)
+    blocks = [max(1, (total_blocks * size) // total_size) for size in sizes]
+    # Distribute the remainder to the largest regions first.
+    order = sorted(range(len(sizes)), key=lambda i: -sizes[i])
+    index = 0
+    while sum(blocks) < total_blocks:
+        blocks[order[index % len(order)]] += 1
+        index += 1
+    while sum(blocks) > total_blocks:
+        candidates = [i for i in order if blocks[i] > 1]
+        if not candidates:
+            break
+        blocks[candidates[-1]] -= 1
+    return blocks
+
+
 @dataclass
 class BatchItem:
     """One region's scheduling request within a batch."""
@@ -55,6 +104,25 @@ class BatchItem:
     seed: int = 0
     initial_order: Optional[Tuple[int, ...]] = None
     reference_schedule: Optional[Schedule] = None
+
+
+@dataclass
+class SlotOutcome:
+    """One batch slot's full outcome (the shared slot-runner's return).
+
+    ``attempts`` counts engine attempts (1 on the fault-free fast path;
+    the ladder's total across rungs when resilience is active).
+    ``final_backend`` names the engine that shipped the region —
+    ``vectorized``/``loop``/``sequential``/``heuristic`` — or None when
+    the slot failed outright. ``seconds`` is the slot's charged simulated
+    time (retry overhead included under resilience).
+    """
+
+    result: Optional[RegionResult]
+    error: Optional[str]
+    attempts: int
+    final_backend: Optional[str]
+    seconds: float
 
 
 @dataclass
@@ -68,6 +136,12 @@ class BatchResult:
     A slot rescued by the resilience ladder's CPU rung holds a sequential
     :class:`~repro.aco.sequential.ACOResult`; its time counts as host-side
     work serial with the batch.
+
+    ``attempts``/``final_backends`` extend the per-region error records:
+    aligned index-for-index with ``results``, they say how many engine
+    attempts each slot took and which engine finally shipped it (None for
+    a slot that failed outright). Both default empty for compatibility
+    with callers constructing historical-shape results.
     """
 
     results: Tuple[Optional[RegionResult], ...]
@@ -81,6 +155,10 @@ class BatchResult:
     unbatched_seconds: float
     #: Per-region error description, or None where the region scheduled.
     errors: Tuple[Optional[str], ...] = ()
+    #: Per-region engine attempts (1 = first try; empty when untracked).
+    attempts: Tuple[int, ...] = ()
+    #: Per-region shipping engine, or None for a failed slot.
+    final_backends: Tuple[Optional[str], ...] = ()
 
     @property
     def amortization_speedup(self) -> float:
@@ -94,6 +172,11 @@ class BatchResult:
     def scheduled(self) -> Tuple[RegionResult, ...]:
         """The successful results only (order preserved)."""
         return tuple(r for r in self.results if r is not None)
+
+    @property
+    def retried_regions(self) -> int:
+        """Regions that needed more than one engine attempt."""
+        return sum(1 for a in self.attempts if a > 1)
 
 
 class MultiRegionScheduler:
@@ -123,27 +206,9 @@ class MultiRegionScheduler:
 
     def _partition_blocks(self, items: Sequence[BatchItem]) -> List[int]:
         """Proportional-to-size split of the launch's blocks, >= 1 each."""
-        total_blocks = self.gpu_params.blocks
-        if len(items) > total_blocks:
-            raise GPUSimError(
-                "batch of %d regions needs at least %d blocks (have %d)"
-                % (len(items), len(items), total_blocks)
-            )
-        sizes = [item.ddg.num_instructions for item in items]
-        total_size = sum(sizes)
-        blocks = [max(1, (total_blocks * size) // total_size) for size in sizes]
-        # Distribute the remainder to the largest regions first.
-        order = sorted(range(len(items)), key=lambda i: -sizes[i])
-        index = 0
-        while sum(blocks) < total_blocks:
-            blocks[order[index % len(order)]] += 1
-            index += 1
-        while sum(blocks) > total_blocks:
-            candidates = [i for i in order if blocks[i] > 1]
-            if not candidates:
-                break
-            blocks[candidates[-1]] -= 1
-        return blocks
+        return partition_blocks(
+            [item.ddg.num_instructions for item in items], self.gpu_params.blocks
+        )
 
     def _region_scheduler(self, blocks: int) -> ParallelACOScheduler:
         gpu = replace_params(self.gpu_params, blocks=blocks)
@@ -155,14 +220,14 @@ class MultiRegionScheduler:
             telemetry=self._telemetry,
         )
 
-    def _region_result(
+    def run_slot(
         self,
         item: BatchItem,
         blocks: int,
         fault_plan: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceParams] = None,
-    ) -> Tuple[Optional[RegionResult], Optional[str]]:
-        """Schedule one batch slot; returns ``(result, error)``.
+    ) -> SlotOutcome:
+        """Schedule one batch slot (the shared slot runner).
 
         With ``resilience`` active the slot runs the full retry ladder
         (its own blocks partition, shared fault plan); with only a
@@ -172,17 +237,35 @@ class MultiRegionScheduler:
         Each slot gets its own trace context (unless the caller already
         installed one): a batch of N regions is N traces, and each slot's
         faults/retries/downgrades correlate under that slot's trace id.
+
+        The outcome is a pure function of ``(ddg, seed, blocks, params,
+        fault_plan, resilience)`` — region-level fault sites are keyed by
+        (region, pass, attempt), never by caller identity — which is the
+        contract the fleet layer's re-dispatch correctness rests on: any
+        worker (or the serial host fallback) re-running a slot reproduces
+        it bit-identically.
         """
         with region_trace(item.ddg.region.name, item.ddg.num_instructions, item.seed):
-            return self._region_result_traced(item, blocks, fault_plan, resilience)
+            return self._run_slot_traced(item, blocks, fault_plan, resilience)
 
-    def _region_result_traced(
+    # Backward-compatible alias for the pre-fleet internal API.
+    def _region_result(
         self,
         item: BatchItem,
         blocks: int,
         fault_plan: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceParams] = None,
     ) -> Tuple[Optional[RegionResult], Optional[str]]:
+        outcome = self.run_slot(item, blocks, fault_plan=fault_plan, resilience=resilience)
+        return outcome.result, outcome.error
+
+    def _run_slot_traced(
+        self,
+        item: BatchItem,
+        blocks: int,
+        fault_plan: Optional[FaultPlan] = None,
+        resilience: Optional[ResilienceParams] = None,
+    ) -> SlotOutcome:
         scheduler = self._region_scheduler(blocks)
         region_name = item.ddg.region.name
         if resilience is not None and resilience.active:
@@ -200,20 +283,42 @@ class MultiRegionScheduler:
                     fault_plan=fault_plan,
                 )
             except RegionUnrecoverable as exc:
-                return None, "unrecoverable: %s" % exc
+                return SlotOutcome(
+                    result=None,
+                    error="unrecoverable: %s" % exc,
+                    attempts=max(1, len(exc.causes)),
+                    final_backend=None,
+                    seconds=exc.spent_seconds,
+                )
             if outcome.result is None:
-                return None, "degraded: ladder shipped no ACO schedule"
-            return outcome.result, None
+                return SlotOutcome(
+                    result=None,
+                    error="degraded: ladder shipped no ACO schedule",
+                    attempts=max(1, outcome.attempts),
+                    final_backend=outcome.final_backend,
+                    seconds=outcome.spent_seconds,
+                )
+            return SlotOutcome(
+                result=outcome.result,
+                error=None,
+                attempts=outcome.attempts,
+                final_backend=outcome.final_backend,
+                seconds=outcome.spent_seconds,
+            )
         try:
-            return (
-                scheduler.schedule(
-                    item.ddg,
-                    seed=item.seed,
-                    initial_order=item.initial_order,
-                    reference_schedule=item.reference_schedule,
-                    fault_plan=fault_plan,
-                ),
-                None,
+            result = scheduler.schedule(
+                item.ddg,
+                seed=item.seed,
+                initial_order=item.initial_order,
+                reference_schedule=item.reference_schedule,
+                fault_plan=fault_plan,
+            )
+            return SlotOutcome(
+                result=result,
+                error=None,
+                attempts=1,
+                final_backend=scheduler.backend,
+                seconds=result.seconds,
             )
         except InjectedFault as exc:
             get_resilience_log().record_fault(exc.fault_class)
@@ -228,7 +333,13 @@ class MultiRegionScheduler:
             )
             if tele.collect_metrics:
                 tele.metrics.counter("resilience.faults." + exc.fault_class).inc()
-            return None, "%s: %s" % (exc.fault_class, exc)
+            return SlotOutcome(
+                result=None,
+                error="%s: %s" % (exc.fault_class, exc),
+                attempts=1,
+                final_backend=None,
+                seconds=exc.seconds,
+            )
 
     @staticmethod
     def _kernel_and_transfer(result: ParallelACOResult) -> Tuple[float, float, int]:
@@ -248,6 +359,7 @@ class MultiRegionScheduler:
         items: Sequence[BatchItem],
         fault_plan: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceParams] = None,
+        fleet: Optional[FleetParams] = None,
     ) -> BatchResult:
         """Schedule all ``items`` as one batched launch (per invoked pass).
 
@@ -256,9 +368,22 @@ class MultiRegionScheduler:
         and the batch's time accounting covers the work that ran. Pass
         ``resilience`` to give each slot the full retry ladder instead of
         a single attempt.
+
+        Pass ``fleet`` (or set ``REPRO_SHARDS`` > 1) to shard the batch
+        across supervised workers — the merged result is bit-identical to
+        this single-device path; only the fleet's own wall-model timing
+        differs, reported separately on the supervisor's FleetResult.
         """
         if not items:
             raise GPUSimError("empty batch")
+        fleet_params = fleet if fleet is not None else FleetParams.from_env()
+        if fleet_params.num_shards > 1:
+            from ..fleet.supervisor import FleetSupervisor
+
+            supervised = FleetSupervisor(self, fleet_params).schedule_batch(
+                items, fault_plan=fault_plan, resilience=resilience
+            )
+            return supervised.batch
         blocks = self._partition_blocks(items)
         tele = self.telemetry
         tele.emit(
@@ -267,24 +392,39 @@ class MultiRegionScheduler:
             blocks_per_region=list(blocks),
         )
         prof = get_profiler()
-        results: List[Optional[RegionResult]] = []
-        errors: List[Optional[str]] = []
+        outcomes: List[SlotOutcome] = []
         with prof.span("batch", "batch"):
             for item, b in zip(items, blocks):
-                result, error = self._region_result(
-                    item, b, fault_plan=fault_plan, resilience=resilience
+                outcomes.append(
+                    self.run_slot(item, b, fault_plan=fault_plan, resilience=resilience)
                 )
-                results.append(result)
-                errors.append(error)
+        return self.assemble_batch(items, blocks, outcomes)
+
+    def assemble_batch(
+        self,
+        items: Sequence[BatchItem],
+        blocks: Sequence[int],
+        outcomes: Sequence[SlotOutcome],
+    ) -> BatchResult:
+        """Reduce per-slot outcomes (in slot order) into one BatchResult.
+
+        Shared by the local path and the fleet supervisor's merge — the
+        batch's derived timing is a pure function of the slot outcomes and
+        the block partition, so a fleet run reduces to the *same* numbers
+        as the single-device run. Also records the per-slot ``batch``
+        schedule entries and publishes the ``batch_end`` telemetry.
+        """
+        results = [outcome.result for outcome in outcomes]
+        errors = [outcome.error for outcome in outcomes]
         recorder = get_recorder()
         if recorder is not None:
-            for item, b, error in zip(items, blocks, errors):
+            for item, b, outcome in zip(items, blocks, outcomes):
                 recorder.record_schedule(
                     "batch",
                     region=item.ddg.region.name,
                     seed=item.seed,
                     blocks=b,
-                    error=error,
+                    error=outcome.error,
                 )
 
         cost = self.device.cost
@@ -314,13 +454,18 @@ class MultiRegionScheduler:
             unbatched += result.seconds
             any_invoked += passes
 
+        tele = self.telemetry
+        attempts = tuple(outcome.attempts for outcome in outcomes)
+        backends = tuple(outcome.final_backend for outcome in outcomes)
         if any_invoked == 0:
             batch = BatchResult(
-                tuple(results),
-                tuple(blocks),
-                host.total,
-                unbatched,
+                results=tuple(results),
+                blocks_per_region=tuple(blocks),
+                seconds=host.total,
+                unbatched_seconds=unbatched,
                 errors=tuple(errors),
+                attempts=attempts,
+                final_backends=backends,
             )
             self._publish_batch(tele, batch)
             return batch
@@ -342,6 +487,8 @@ class MultiRegionScheduler:
             seconds=batch_seconds,
             unbatched_seconds=unbatched,
             errors=tuple(errors),
+            attempts=attempts,
+            final_backends=backends,
         )
         self._publish_batch(tele, batch)
         return batch

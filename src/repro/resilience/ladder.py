@@ -89,6 +89,17 @@ class LadderOutcome:
     def clean(self) -> bool:
         return not self.faults and self.attempts == 1 and not self.degraded
 
+    @property
+    def final_backend(self) -> str:
+        """The engine that shipped the region — the effective final rung.
+
+        Feeds the batch layer's per-region attribution
+        (:attr:`repro.parallel.multi_region.BatchResult.final_backends`):
+        a clean region reports its configured backend, a downgraded one
+        the rung it landed on, a degraded one :data:`HEURISTIC_RUNG`.
+        """
+        return self.rung
+
 
 @dataclass
 class _Attempt:

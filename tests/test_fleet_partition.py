@@ -1,0 +1,74 @@
+"""Tests for the fleet's shard partitioner and the deterministic merge."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FleetError
+from repro.fleet import merge_shard_results, partition_shards
+
+
+class TestPartitionShards:
+    def test_round_robin_in_slot_order(self):
+        assert partition_shards([0, 1, 2, 3, 4], 2) == [[0, 2, 4], [1, 3]]
+        assert partition_shards([0, 1, 2, 3, 4, 5], 3) == [[0, 3], [1, 4], [2, 5]]
+
+    def test_recovery_subset_keeps_slot_order(self):
+        # After a crash the pending set is sparse; the queues still walk it
+        # in slot order, independent of how recovery produced it.
+        assert partition_shards([1, 4, 7], 2) == [[1, 7], [4]]
+
+    def test_extra_shards_idle_empty(self):
+        assert partition_shards([0, 1], 4) == [[0], [1], [], []]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(FleetError):
+            partition_shards([0, 1], 0)
+
+    @given(
+        num_slots=st.integers(min_value=0, max_value=40),
+        num_shards=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_is_a_partition(self, num_slots, num_shards):
+        queues = partition_shards(list(range(num_slots)), num_shards)
+        assert len(queues) == num_shards
+        flat = [slot for queue in queues for slot in queue]
+        assert sorted(flat) == list(range(num_slots))
+        for queue in queues:
+            assert queue == sorted(queue)  # slot order preserved per shard
+
+
+class TestMergeShardResults:
+    def test_any_arrival_order_merges_to_slot_order(self):
+        resolved = [(2, "c"), (0, "a"), (3, "d"), (1, "b")]
+        assert merge_shard_results(4, resolved) == ["a", "b", "c", "d"]
+
+    def test_duplicate_slot_rejected(self):
+        with pytest.raises(FleetError, match="twice"):
+            merge_shard_results(2, [(0, "a"), (0, "b"), (1, "c")])
+
+    def test_missing_slot_rejected(self):
+        with pytest.raises(FleetError, match="missing"):
+            merge_shard_results(3, [(0, "a"), (2, "c")])
+
+    def test_out_of_range_slot_rejected(self):
+        with pytest.raises(FleetError, match="out-of-range"):
+            merge_shard_results(2, [(0, "a"), (2, "c")])
+        with pytest.raises(FleetError, match="out-of-range"):
+            merge_shard_results(2, [(-1, "a"), (0, "b")])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(FleetError):
+            merge_shard_results(-1, [])
+
+    def test_empty_merge(self):
+        assert merge_shard_results(0, []) == []
+
+    @given(permutation=st.permutations(list(range(12))))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_arrival_order_invariant(self, permutation):
+        resolved = [(slot, "v%d" % slot) for slot in permutation]
+        assert merge_shard_results(12, resolved) == [
+            "v%d" % slot for slot in range(12)
+        ]

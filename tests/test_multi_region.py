@@ -84,3 +84,50 @@ class TestBatchScheduling:
         assert a.seconds == b.seconds
         for ra, rb in zip(a.results, b.results):
             assert ra.schedule == rb.schedule
+
+
+class TestPerRegionProvenance:
+    def test_attempts_and_backends_on_the_clean_path(self, machine):
+        scheduler = MultiRegionScheduler(machine, gpu_params=GPUParams(blocks=6))
+        batch = scheduler.schedule_batch(_items(3, size=25))
+        assert batch.attempts == (1, 1, 1)
+        backend = scheduler._region_scheduler(blocks=2).backend
+        assert batch.final_backends == (backend,) * 3
+        assert batch.retried_regions == 0
+
+    def test_run_slot_is_pure_per_region(self, machine):
+        """The contract the fleet layer rests on: a slot's outcome depends
+        only on (item, blocks), not on when or where it runs."""
+        scheduler = MultiRegionScheduler(machine, gpu_params=GPUParams(blocks=6))
+        item = _items(1, size=25)[0]
+        a = scheduler.run_slot(item, 2)
+        b = scheduler.run_slot(item, 2)
+        assert a.result.schedule == b.result.schedule
+        assert a.seconds == b.seconds
+        assert (a.attempts, a.final_backend) == (b.attempts, b.final_backend)
+
+
+class TestFleetDelegation:
+    def test_fleet_param_shards_and_stays_bit_identical(self, machine):
+        from repro.config import FleetParams
+
+        scheduler = MultiRegionScheduler(machine, gpu_params=GPUParams(blocks=6))
+        single = scheduler.schedule_batch(_items(4, size=25))
+        sharded = scheduler.schedule_batch(
+            _items(4, size=25), fleet=FleetParams(num_shards=2)
+        )
+        assert sharded.seconds == single.seconds
+        assert sharded.attempts == single.attempts
+        assert sharded.final_backends == single.final_backends
+        for ra, rb in zip(single.results, sharded.results):
+            assert ra.schedule == rb.schedule
+
+    def test_repro_shards_env_delegates(self, machine, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        scheduler = MultiRegionScheduler(machine, gpu_params=GPUParams(blocks=6))
+        sharded = scheduler.schedule_batch(_items(3, size=25))
+        monkeypatch.delenv("REPRO_SHARDS")
+        single = scheduler.schedule_batch(_items(3, size=25))
+        assert sharded.seconds == single.seconds
+        for ra, rb in zip(single.results, sharded.results):
+            assert ra.schedule == rb.schedule

@@ -99,6 +99,69 @@ class TestDET004WallClockDate:
         assert hits == []
 
 
+class TestDET005UnorderedMerge:
+    def test_positive_set_iteration_in_merge(self, tmp_path):
+        hits = _scan(
+            tmp_path,
+            {
+                "viz/bad.py": (
+                    "def merge_results(parts):\n"
+                    "    out = []\n"
+                    "    for key in set(parts):\n"
+                    "        out.append(parts[key])\n"
+                    "    return out\n"
+                )
+            },
+        )
+        assert hits == [("DET-005", "viz/bad.py")]
+
+    def test_positive_set_op_result_in_reduce(self, tmp_path):
+        hits = _scan(
+            tmp_path,
+            {
+                "viz/bad.py": (
+                    "def reduce_keys(a, b):\n"
+                    "    return [k for k in a.union(b)]\n"
+                )
+            },
+        )
+        assert hits == [("DET-005", "viz/bad.py")]
+
+    def test_positive_outside_kernel_paths_too(self, tmp_path):
+        # Unlike DET-002, merges are policed everywhere (the fleet merge
+        # contract does not care which package the reduce lives in).
+        hits = _scan(
+            tmp_path,
+            {
+                "experiments/bad.py": (
+                    "def combine(xs):\n"
+                    "    for x in {1, 2, 3}:\n"
+                    "        yield x\n"
+                )
+            },
+        )
+        assert hits == [("DET-005", "experiments/bad.py")]
+
+    def test_negative_sorted_indices_and_non_merge_names(self, tmp_path):
+        hits = _scan(
+            tmp_path,
+            {
+                "viz/ok.py": (
+                    "def merge_sorted(parts):\n"
+                    "    return [parts[k] for k in sorted(set(parts))]\n"
+                    "\n"
+                    "def merge_indexed(n, by_slot):\n"
+                    "    return [by_slot[i] for i in range(n)]\n"
+                    "\n"
+                    "def walk(xs):\n"
+                    "    for x in set(xs):\n"
+                    "        pass\n"
+                ),
+            },
+        )
+        assert hits == []
+
+
 class TestRNG101NakedGenerator:
     def test_positive_random_random_in_aco(self, tmp_path):
         hits = _scan(
